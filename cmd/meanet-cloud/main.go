@@ -1,0 +1,171 @@
+// Command meanet-cloud runs the cloud AI server: it trains (or loads) the
+// deep cloud CNN for a dataset preset and serves classify requests over TCP
+// until interrupted.
+//
+// Usage:
+//
+//	meanet-cloud [-addr :9400] [-dataset c100|imagenet] [-scale tiny|small|full]
+//	             [-seed N] [-epochs N] [-weights FILE] [-save FILE]
+//
+// The companion meanet-edge command, started with the same -dataset, -scale
+// and -seed, generates the identical synthetic dataset and offloads its
+// complex instances here.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/meanet/meanet/internal/cloud"
+	"github.com/meanet/meanet/internal/core"
+	"github.com/meanet/meanet/internal/data"
+	"github.com/meanet/meanet/internal/models"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "meanet-cloud:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("meanet-cloud", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9400", "listen address")
+	dataset := fs.String("dataset", "c100", "dataset preset: c100 or imagenet")
+	scaleName := fs.String("scale", "small", "workload scale: tiny, small or full")
+	seed := fs.Int64("seed", 1, "master random seed (must match the edge)")
+	epochs := fs.Int("epochs", 0, "training epochs (0 = scale default)")
+	weights := fs.String("weights", "", "load pretrained cloud weights instead of training")
+	save := fs.String("save", "", "save trained weights to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+	synth, err := generatePreset(*dataset, scale, *seed)
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(*seed + 500))
+	groups := 3
+	if *dataset == "imagenet" {
+		groups = 4
+	}
+	backbone, err := models.BuildResNet(rng, models.ResNetCloud(groups))
+	if err != nil {
+		return err
+	}
+	cls := models.NewClassifier(rng, backbone, synth.Train.NumClasses)
+
+	if *weights != "" {
+		f, err := os.Open(*weights)
+		if err != nil {
+			return fmt.Errorf("open weights: %w", err)
+		}
+		defer f.Close()
+		if err := models.LoadWeights(f, cls.Backbone, cls.Exit); err != nil {
+			return fmt.Errorf("load weights: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded cloud weights from %s\n", *weights)
+	} else {
+		e := *epochs
+		if e == 0 {
+			e = defaultEpochs(scale)
+		}
+		cfg := core.DefaultTrainConfig(e, *seed+501)
+		cfg.Progress = func(epoch int, loss float64) {
+			fmt.Fprintf(os.Stderr, "cloud training epoch %d/%d loss %.4f\n", epoch+1, e, loss)
+		}
+		start := time.Now()
+		if err := core.TrainClassifier(cls, synth.Train, cfg); err != nil {
+			return fmt.Errorf("train cloud model: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "cloud model trained in %.1fs\n", time.Since(start).Seconds())
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return fmt.Errorf("create weights file: %w", err)
+		}
+		if err := models.SaveWeights(f, cls.Backbone, cls.Exit); err != nil {
+			f.Close()
+			return fmt.Errorf("save weights: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "saved cloud weights to %s\n", *save)
+	}
+
+	cm, err := core.EvaluateClassifier(cls, synth.Test, 64)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cloud model test accuracy: %.2f%%\n", 100*cm.Accuracy())
+
+	srv, err := cloud.NewServer(cls, nil)
+	if err != nil {
+		return err
+	}
+	if err := srv.Listen(*addr); err != nil {
+		return err
+	}
+	fmt.Printf("cloud AI serving on %s (dataset %s, %d classes)\n",
+		srv.Addr(), *dataset, synth.Train.NumClasses)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "shutting down")
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "served %d requests (%d errors, %d conns, %d bytes in, %d out)\n",
+		st.Requests, st.Errors, st.TotalConns, st.BytesIn, st.BytesOut)
+	return nil
+}
+
+func generatePreset(name string, scale data.Scale, seed int64) (*data.Synth, error) {
+	switch name {
+	case "c100":
+		return data.Generate(data.SynthC100(scale, seed))
+	case "imagenet":
+		return data.Generate(data.SynthImageNet(scale, seed+100))
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want c100 or imagenet)", name)
+	}
+}
+
+func defaultEpochs(scale data.Scale) int {
+	switch scale {
+	case data.ScaleTiny:
+		return 6
+	case data.ScaleFull:
+		return 35
+	default:
+		return 22
+	}
+}
+
+func parseScale(name string) (data.Scale, error) {
+	switch name {
+	case "tiny":
+		return data.ScaleTiny, nil
+	case "small":
+		return data.ScaleSmall, nil
+	case "full":
+		return data.ScaleFull, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want tiny, small or full)", name)
+	}
+}

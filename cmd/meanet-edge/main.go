@@ -1,0 +1,247 @@
+// Command meanet-edge runs the edge side of the distributed system: it
+// trains a MEANet with the complexity-aware pipeline (Algorithm 1), connects
+// to a meanet-cloud server, streams the test set through Algorithm 2, and
+// reports accuracy, exit distribution and edge-side energy.
+//
+// Usage:
+//
+//	meanet-edge [-cloud 127.0.0.1:9400] [-dataset c100|imagenet]
+//	            [-scale tiny|small|full] [-seed N] [-threshold T]
+//	            [-variant A|B] [-latency 10ms] [-mbps 18.88]
+//
+// Start meanet-cloud first with the same -dataset, -scale and -seed so both
+// ends agree on the synthetic dataset and class count. With -cloud ""
+// (empty) the edge runs standalone.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/meanet/meanet/internal/core"
+	"github.com/meanet/meanet/internal/data"
+	"github.com/meanet/meanet/internal/edge"
+	"github.com/meanet/meanet/internal/energy"
+	"github.com/meanet/meanet/internal/models"
+	"github.com/meanet/meanet/internal/netsim"
+	"github.com/meanet/meanet/internal/profile"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "meanet-edge:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("meanet-edge", flag.ContinueOnError)
+	cloudAddr := fs.String("cloud", "127.0.0.1:9400", "cloud server address (empty = edge only)")
+	dataset := fs.String("dataset", "c100", "dataset preset: c100 or imagenet")
+	scaleName := fs.String("scale", "small", "workload scale: tiny, small or full")
+	seed := fs.Int64("seed", 1, "master random seed (must match the cloud)")
+	threshold := fs.Float64("threshold", -1, "entropy threshold for cloud offload (-1 = validation midpoint)")
+	variant := fs.String("variant", "A", "MEANet variant: A (split backbone) or B (full backbone + extension)")
+	latency := fs.Duration("latency", 0, "simulated uplink latency")
+	mbps := fs.Float64("mbps", 0, "simulated uplink bandwidth (0 = unshaped)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+	synth, err := generatePreset(*dataset, scale, *seed)
+	if err != nil {
+		return err
+	}
+	classes := synth.Train.NumClasses
+
+	// Build the edge network.
+	rng := rand.New(rand.NewSource(*seed + 17))
+	var backbone *models.Backbone
+	if *dataset == "c100" {
+		backbone, err = models.BuildResNet(rng, models.ResNetEdgeC100(1))
+	} else {
+		backbone, err = models.BuildResNet(rng, models.ResNetEdgeImageNet(1))
+	}
+	if err != nil {
+		return err
+	}
+	var m *core.MEANet
+	switch *variant {
+	case "A":
+		m, err = core.BuildMEANetA(rng, backbone, len(backbone.Groups)-1, classes)
+	case "B":
+		m, err = core.BuildMEANetB(rng, backbone, 2, classes, core.CombineSum)
+	default:
+		return fmt.Errorf("unknown variant %q (want A or B)", *variant)
+	}
+	if err != nil {
+		return err
+	}
+
+	// Algorithm 1: pretrain, select hard classes, adapt.
+	epochs := defaultEpochs(scale)
+	mainCfg := core.DefaultTrainConfig(epochs, *seed+11)
+	edgeCfg := core.DefaultTrainConfig(epochs, *seed+13)
+	mainCfg.Progress = progress("main block")
+	edgeCfg.Progress = progress("edge blocks")
+
+	rng2 := rand.New(rand.NewSource(mainCfg.Seed))
+	val, train := synth.Train.Split(0.1, rng2)
+	start := time.Now()
+	if err := core.TrainMainBlock(m, train, mainCfg); err != nil {
+		return err
+	}
+	cm, es, err := core.EvaluateMain(m, val, 64)
+	if err != nil {
+		return err
+	}
+	m.Dict, err = core.SelectHardClasses(cm, classes/2)
+	if err != nil {
+		return err
+	}
+	if err := core.TrainEdgeBlocks(m, train, edgeCfg); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "edge training done in %.1fs; hard classes: %v\n",
+		time.Since(start).Seconds(), m.Dict.FromHard)
+
+	// Threshold: validation midpoint unless overridden.
+	th := *threshold
+	lo, hi, ok := es.ThresholdRange()
+	if th < 0 {
+		if ok {
+			th = (lo + hi) / 2
+		} else {
+			th = lo
+		}
+	}
+	fmt.Fprintf(os.Stderr, "entropy means (val): correct %.3f, wrong %.3f; using threshold %.3f\n", lo, hi, th)
+
+	// Cloud transport.
+	var client edge.CloudClient
+	useCloud := *cloudAddr != ""
+	if useCloud {
+		tcp, err := edge.DialCloud(*cloudAddr, edge.DialConfig{
+			Link: netsim.Link{Latency: *latency, Mbps: *mbps},
+		})
+		if err != nil {
+			return fmt.Errorf("dial cloud: %w", err)
+		}
+		defer tcp.Close()
+		if err := tcp.Ping(); err != nil {
+			return fmt.Errorf("cloud ping: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "connected to cloud at %s\n", *cloudAddr)
+		client = tcp
+	}
+
+	// Energy model.
+	inShape := profile.Shape{C: synth.Train.C, H: synth.Train.H, W: synth.Train.W}
+	prof, err := profile.ProfileMEANet(m, inShape, 0)
+	if err != nil {
+		return err
+	}
+	compute := energy.EdgeGPUCIFAR()
+	if *dataset == "imagenet" {
+		compute = energy.EdgeGPUImageNet()
+	}
+	cost := &edge.CostParams{
+		MainMACs:   prof.Fixed.MACs,
+		ExtMACs:    prof.Trained.MACs,
+		Compute:    compute,
+		WiFi:       energy.DefaultWiFi(),
+		ImageBytes: energy.RawImageBytes(inShape.H, inShape.W, inShape.C),
+	}
+
+	rt, err := edge.NewRuntime(m, core.Policy{Threshold: th, UseCloud: useCloud}, client, cost)
+	if err != nil {
+		return err
+	}
+
+	// Stream the test set.
+	correct := 0
+	streamStart := time.Now()
+	for startIdx := 0; startIdx < synth.Test.N; startIdx += 64 {
+		end := startIdx + 64
+		if end > synth.Test.N {
+			end = synth.Test.N
+		}
+		idx := make([]int, end-startIdx)
+		for i := range idx {
+			idx[i] = startIdx + i
+		}
+		x, y := synth.Test.Batch(idx)
+		decisions, err := rt.Classify(x)
+		if err != nil {
+			return err
+		}
+		for i, d := range decisions {
+			if d.Pred == y[i] {
+				correct++
+			}
+		}
+	}
+	elapsed := time.Since(streamStart)
+
+	rep := rt.Report()
+	fmt.Printf("instances:        %d in %.1fs (%.0f inst/s)\n",
+		rep.N, elapsed.Seconds(), float64(rep.N)/elapsed.Seconds())
+	fmt.Printf("accuracy:         %.2f%%\n", 100*float64(correct)/float64(rep.N))
+	fmt.Printf("exits:            main %d, extension %d, cloud %d (beta %.1f%%)\n",
+		rep.Exits[core.ExitMain], rep.Exits[core.ExitExtension], rep.Exits[core.ExitCloud],
+		100*rep.CloudFraction())
+	fmt.Printf("cloud failures:   %d\n", rep.CloudFailures)
+	fmt.Printf("bytes uploaded:   %d\n", rep.BytesSent)
+	fmt.Printf("edge energy:      %.3f J compute + %.3f J comm = %.3f J\n",
+		rep.Energy.ComputeJ, rep.Energy.CommJ, rep.Energy.TotalJ())
+	fmt.Printf("modeled latency:  %v compute + %v upload\n",
+		rep.LatencyCompute.Round(time.Microsecond), rep.LatencyComm.Round(time.Microsecond))
+	return nil
+}
+
+func progress(what string) func(int, float64) {
+	return func(epoch int, loss float64) {
+		fmt.Fprintf(os.Stderr, "%s epoch %d loss %.4f\n", what, epoch+1, loss)
+	}
+}
+
+func generatePreset(name string, scale data.Scale, seed int64) (*data.Synth, error) {
+	switch name {
+	case "c100":
+		return data.Generate(data.SynthC100(scale, seed))
+	case "imagenet":
+		return data.Generate(data.SynthImageNet(scale, seed+100))
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want c100 or imagenet)", name)
+	}
+}
+
+func defaultEpochs(scale data.Scale) int {
+	switch scale {
+	case data.ScaleTiny:
+		return 8
+	case data.ScaleFull:
+		return 30
+	default:
+		return 18
+	}
+}
+
+func parseScale(name string) (data.Scale, error) {
+	switch name {
+	case "tiny":
+		return data.ScaleTiny, nil
+	case "small":
+		return data.ScaleSmall, nil
+	case "full":
+		return data.ScaleFull, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want tiny, small or full)", name)
+	}
+}

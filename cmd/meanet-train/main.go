@@ -1,0 +1,165 @@
+// Command meanet-train runs the complexity-aware training pipeline
+// (Algorithm 1) for an edge MEANet and saves the resulting weights, so that
+// deployments can load a pretrained model instead of retraining.
+//
+// Usage:
+//
+//	meanet-train [-dataset c100|imagenet] [-scale tiny|small|full] [-seed N]
+//	             [-variant A|B] [-epochs N] [-out meanet.weights]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/meanet/meanet/internal/core"
+	"github.com/meanet/meanet/internal/data"
+	"github.com/meanet/meanet/internal/models"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "meanet-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("meanet-train", flag.ContinueOnError)
+	dataset := fs.String("dataset", "c100", "dataset preset: c100 or imagenet")
+	scaleName := fs.String("scale", "small", "workload scale: tiny, small or full")
+	seed := fs.Int64("seed", 1, "master random seed")
+	variant := fs.String("variant", "A", "MEANet variant: A or B")
+	epochs := fs.Int("epochs", 0, "training epochs per phase (0 = scale default)")
+	out := fs.String("out", "meanet.weights", "output weights file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+	var synth *data.Synth
+	switch *dataset {
+	case "c100":
+		synth, err = data.Generate(data.SynthC100(scale, *seed))
+	case "imagenet":
+		synth, err = data.Generate(data.SynthImageNet(scale, *seed+100))
+	default:
+		return fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	if err != nil {
+		return err
+	}
+	classes := synth.Train.NumClasses
+
+	rng := rand.New(rand.NewSource(*seed + 17))
+	var backbone *models.Backbone
+	if *dataset == "c100" {
+		backbone, err = models.BuildResNet(rng, models.ResNetEdgeC100(1))
+	} else {
+		backbone, err = models.BuildResNet(rng, models.ResNetEdgeImageNet(1))
+	}
+	if err != nil {
+		return err
+	}
+	var m *core.MEANet
+	switch *variant {
+	case "A":
+		m, err = core.BuildMEANetA(rng, backbone, len(backbone.Groups)-1, classes)
+	case "B":
+		m, err = core.BuildMEANetB(rng, backbone, 2, classes, core.CombineSum)
+	default:
+		return fmt.Errorf("unknown variant %q", *variant)
+	}
+	if err != nil {
+		return err
+	}
+
+	e := *epochs
+	if e == 0 {
+		switch scale {
+		case data.ScaleTiny:
+			e = 8
+		case data.ScaleFull:
+			e = 30
+		default:
+			e = 18
+		}
+	}
+	mainCfg := core.DefaultTrainConfig(e, *seed+11)
+	edgeCfg := core.DefaultTrainConfig(e, *seed+13)
+	mainCfg.Progress = func(epoch int, loss float64) {
+		fmt.Fprintf(os.Stderr, "main epoch %d/%d loss %.4f\n", epoch+1, e, loss)
+	}
+	edgeCfg.Progress = func(epoch int, loss float64) {
+		fmt.Fprintf(os.Stderr, "edge epoch %d/%d loss %.4f\n", epoch+1, e, loss)
+	}
+
+	start := time.Now()
+	rng2 := rand.New(rand.NewSource(mainCfg.Seed))
+	val, train := synth.Train.Split(0.1, rng2)
+	if err := core.TrainMainBlock(m, train, mainCfg); err != nil {
+		return err
+	}
+	cm, _, err := core.EvaluateMain(m, val, 64)
+	if err != nil {
+		return err
+	}
+	m.Dict, err = core.SelectHardClasses(cm, classes/2)
+	if err != nil {
+		return err
+	}
+	if err := core.TrainEdgeBlocks(m, train, edgeCfg); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pipeline finished in %.1fs; hard classes %v\n",
+		time.Since(start).Seconds(), m.Dict.FromHard)
+
+	testCM, _, err := core.EvaluateMain(m, synth.Test, 64)
+	if err != nil {
+		return err
+	}
+	rep, err := core.Evaluate(m, synth.Test, 64, core.Policy{UseCloud: false}, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("test accuracy: main %.2f%%, MEANet %.2f%%\n",
+		100*testCM.Accuracy(), 100*rep.Overall)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	// SaveState persists the full deployable state: weights, batch-norm
+	// statistics and the hard-class dictionary.
+	if err := core.SaveState(f, m); err != nil {
+		f.Close()
+		return fmt.Errorf("save state: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("state saved to %s (%d bytes)\n", *out, info.Size())
+	return nil
+}
+
+func parseScale(name string) (data.Scale, error) {
+	switch name {
+	case "tiny":
+		return data.ScaleTiny, nil
+	case "small":
+		return data.ScaleSmall, nil
+	case "full":
+		return data.ScaleFull, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want tiny, small or full)", name)
+	}
+}

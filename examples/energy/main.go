@@ -1,0 +1,69 @@
+// Energy: explore the paper's cost model (Table I, Table VII, Fig 8)
+// without training anything — paper-scale model profiles drive the
+// calibrated energy models, and the Table I algebra compares deployment
+// modes as β (the fraction of data sent to the cloud) varies.
+//
+//	go run ./examples/energy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/meanet/meanet/internal/energy"
+	"github.com/meanet/meanet/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Paper-scale model profiles (ResNet32 A/B, MobileNetV2 B, ResNet18 B).
+	pms, err := experiments.PaperScaleModels()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("paper-scale model decomposition (Table VI):")
+	fmt.Println("  model                      | MACs fixed/trained (M) | params fixed/trained (M)")
+	for _, pm := range pms {
+		p, err := experiments.ProfilePaperModel(pm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-26s | %7.0f / %-7.0f      | %6.2f / %.2f\n",
+			pm.Name,
+			float64(p.Fixed.MACs)/1e6, float64(p.Trained.MACs)/1e6,
+			float64(p.Fixed.Params)/1e6, float64(p.Trained.Params)/1e6)
+	}
+
+	// Per-image costs (Table VII).
+	wifi := energy.DefaultWiFi()
+	fmt.Printf("\nWiFi upload power (paper model): %.2f W\n", wifi.UploadPowerWatts())
+	cifarImg := energy.RawImageBytes(32, 32, 3)
+	imagenetImg := energy.RawImageBytes(224, 224, 3)
+	fmt.Printf("upload one CIFAR image (%d B):    %.2f ms, %.2f mJ\n",
+		cifarImg, 1000*wifi.UploadTime(cifarImg).Seconds(), 1000*wifi.UploadEnergyJ(cifarImg))
+	fmt.Printf("upload one ImageNet image (%d B): %.1f ms, %.1f mJ\n",
+		imagenetImg, 1000*wifi.UploadTime(imagenetImg).Seconds(), 1000*wifi.UploadEnergyJ(imagenetImg))
+
+	// Table I: edge vs cloud vs edge-cloud as β varies.
+	fmt.Println("\nTable I cost algebra — total edge energy (J) for 10k CIFAR images:")
+	fmt.Println("  beta | edge only | cloud only | edge-cloud raw | edge-cloud features (q=0.5)")
+	for _, beta := range []float64{0.05, 0.15, 0.3, 0.6, 1.0} {
+		cm := energy.CostModel{
+			N:               10000,
+			EdgeComputeJ:    0.00314,
+			UploadRawJ:      0.00712,
+			UploadFeaturesJ: 0.0107,
+			Beta:            beta,
+			Q:               0.5,
+		}
+		if err := cm.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %.2f | %9.1f | %10.1f | %14.1f | %17.1f\n",
+			beta, cm.EdgeOnly().TotalJ(), cm.CloudOnly().TotalJ(),
+			cm.EdgeCloudRaw().TotalJ(), cm.EdgeCloudFeatures().TotalJ())
+	}
+	fmt.Println("\nthe crossover: edge-cloud raw beats cloud-only while β stays below")
+	fmt.Println("(x_cu − x)/x_cu ≈ 0.56 of the data — the early exits pay for themselves.")
+}

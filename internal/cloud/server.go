@@ -1,0 +1,260 @@
+// Package cloud implements the cloud AI server: a TCP service that runs a
+// deep CNN (the paper uses a ResNet101; we use the deepest/widest model of
+// our zoo) over raw images — and optionally a partitioned-network tail over
+// edge features — returning predictions with confidences.
+//
+// Evaluation-mode forward passes of the nn stack are stateless, so requests
+// from many connections are served concurrently without locking the model.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/meanet/meanet/internal/models"
+	"github.com/meanet/meanet/internal/nn"
+	"github.com/meanet/meanet/internal/protocol"
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+// Tail is the cloud half of a partitioned network for the features mode
+// (§III-C "sending features"): a body continuing from edge features plus an
+// exit.
+type Tail struct {
+	Body nn.Layer
+	Exit nn.Layer
+}
+
+// Logits runs the tail on a feature batch.
+func (t *Tail) Logits(f *tensor.Tensor, train bool) *tensor.Tensor {
+	return t.Exit.Forward(t.Body.Forward(f, train), train)
+}
+
+// Stats are cumulative server counters, safe to read concurrently.
+type Stats struct {
+	Requests    uint64
+	Errors      uint64
+	BytesIn     uint64
+	BytesOut    uint64
+	ActiveConns int64
+	TotalConns  uint64
+}
+
+// Server serves classification requests over TCP.
+type Server struct {
+	raw  *models.Classifier
+	feat *Tail // nil when the features mode is unsupported
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	requests   atomic.Uint64
+	errorCount atomic.Uint64
+	bytesIn    atomic.Uint64
+	bytesOut   atomic.Uint64
+	active     atomic.Int64
+	total      atomic.Uint64
+}
+
+// NewServer builds a server around a raw-image classifier. tail may be nil.
+func NewServer(raw *models.Classifier, tail *Tail) (*Server, error) {
+	if raw == nil {
+		return nil, errors.New("cloud: nil classifier")
+	}
+	return &Server{raw: raw, feat: tail, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Listen binds the server to an address (use "127.0.0.1:0" for an ephemeral
+// port) and starts the accept loop in a background goroutine.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cloud: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("cloud: server already closed")
+	}
+	if s.ln != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("cloud: server already listening")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr reports the bound address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:    s.requests.Load(),
+		Errors:      s.errorCount.Load(),
+		BytesIn:     s.bytesIn.Load(),
+		BytesOut:    s.bytesOut.Load(),
+		ActiveConns: s.active.Load(),
+		TotalConns:  s.total.Load(),
+	}
+}
+
+// Close stops accepting, closes all active connections and waits for
+// handlers to drain. It is safe to call multiple times.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.total.Add(1)
+		s.active.Add(1)
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) removeConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.active.Add(-1)
+	conn.Close()
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.removeConn(conn)
+	for {
+		f, err := protocol.ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.errorCount.Add(1)
+			}
+			return // malformed stream or peer gone: drop the connection
+		}
+		s.bytesIn.Add(uint64(len(f.Payload)))
+		resp := s.dispatch(f)
+		if err := protocol.WriteFrame(conn, resp); err != nil {
+			s.errorCount.Add(1)
+			return
+		}
+		s.bytesOut.Add(uint64(len(resp.Payload)))
+	}
+}
+
+// dispatch computes the response frame for a request frame.
+func (s *Server) dispatch(f protocol.Frame) protocol.Frame {
+	s.requests.Add(1)
+	switch f.Type {
+	case protocol.MsgPing:
+		return protocol.Frame{Type: protocol.MsgPong, ID: f.ID}
+	case protocol.MsgClassifyRaw:
+		return s.classify(f, func(x *tensor.Tensor) *tensor.Tensor {
+			return s.raw.Logits(x, false)
+		})
+	case protocol.MsgClassifyFeat:
+		if s.feat == nil {
+			return errorFrame(f.ID, "features mode not supported by this server")
+		}
+		return s.classify(f, func(x *tensor.Tensor) *tensor.Tensor {
+			return s.feat.Logits(x, false)
+		})
+	default:
+		return errorFrame(f.ID, fmt.Sprintf("unsupported message type %s", f.Type))
+	}
+}
+
+func (s *Server) classify(f protocol.Frame, logits func(*tensor.Tensor) *tensor.Tensor) protocol.Frame {
+	t, err := protocol.DecodeTensor(f.Payload)
+	if err != nil {
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, err.Error())
+	}
+	if t.Dims() != 3 {
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, fmt.Sprintf("expected CHW tensor, got rank %d", t.Dims()))
+	}
+	batch := t.Reshape(append([]int{1}, t.Shape()...)...)
+	out, err := safeLogits(logits, batch)
+	if err != nil {
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, err.Error())
+	}
+	probs := tensor.SoftmaxRow(out.Row(0))
+	pred := 0
+	for i, v := range probs {
+		if v > probs[pred] {
+			pred = i
+		}
+	}
+	return protocol.Frame{
+		Type:    protocol.MsgResult,
+		ID:      f.ID,
+		Payload: protocol.EncodeResult(int32(pred), probs[pred]),
+	}
+}
+
+// safeLogits shields the connection handler from panics raised by the
+// numeric kernels on geometry mismatches (e.g. a client sending an image of
+// the wrong size); such requests get an error response instead of killing
+// the server.
+func safeLogits(logits func(*tensor.Tensor) *tensor.Tensor, batch *tensor.Tensor) (out *tensor.Tensor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cloud: inference failed: %v", r)
+		}
+	}()
+	return logits(batch), nil
+}
+
+func errorFrame(id uint64, msg string) protocol.Frame {
+	return protocol.Frame{Type: protocol.MsgError, ID: id, Payload: []byte(msg)}
+}

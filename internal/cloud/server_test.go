@@ -1,0 +1,289 @@
+package cloud
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/meanet/meanet/internal/edge"
+	"github.com/meanet/meanet/internal/models"
+	"github.com/meanet/meanet/internal/nn"
+	"github.com/meanet/meanet/internal/protocol"
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+// testClassifier returns a small untrained (but deterministic) classifier.
+func testClassifier(t *testing.T, seed int64) *models.Classifier {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b, err := models.BuildResNet(rng, models.ResNetSpec{
+		Name: "cloudtest", InChannels: 3, StemChannels: 4,
+		Channels: []int{4, 8}, Blocks: []int{1, 1}, Strides: []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return models.NewClassifier(rng, b, 5)
+}
+
+func startServer(t *testing.T, cls *models.Classifier, tail *Tail) *Server {
+	t.Helper()
+	s, err := NewServer(cls, tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestServerClassifyMatchesLocalModel(t *testing.T) {
+	cls := testClassifier(t, 1)
+	s := startServer(t, cls, nil)
+	client, err := edge.DialCloud(s.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	rng := rand.New(rand.NewSource(2))
+	img := tensor.Randn(rng, 1, 3, 8, 8)
+	pred, conf, err := client.Classify(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local reference.
+	inproc := &edge.InProcClient{Model: cls}
+	wantPred, wantConf, err := inproc.Classify(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != wantPred {
+		t.Fatalf("remote pred %d, local pred %d", pred, wantPred)
+	}
+	if diff := conf - wantConf; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("remote conf %v, local conf %v", conf, wantConf)
+	}
+}
+
+func TestServerPing(t *testing.T) {
+	s := startServer(t, testClassifier(t, 3), nil)
+	client, err := edge.DialCloud(s.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerRejectsWrongGeometry(t *testing.T) {
+	s := startServer(t, testClassifier(t, 4), nil)
+	client, err := edge.DialCloud(s.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	rng := rand.New(rand.NewSource(5))
+	// 5 channels instead of 3: kernels must reject it, server must answer
+	// with an error frame, and the connection must survive.
+	if _, _, err := client.Classify(tensor.Randn(rng, 1, 5, 8, 8)); err == nil {
+		t.Fatal("wrong-geometry image accepted")
+	}
+	// The same client still works afterwards.
+	if _, _, err := client.Classify(tensor.Randn(rng, 1, 3, 8, 8)); err != nil {
+		t.Fatalf("connection dead after error frame: %v", err)
+	}
+}
+
+func TestServerDropsCorruptStream(t *testing.T) {
+	s := startServer(t, testClassifier(t, 6), nil)
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("this is not a MEA1 frame at all....")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server answered a corrupt stream instead of dropping it")
+	}
+}
+
+func TestServerFeatureMode(t *testing.T) {
+	cls := testClassifier(t, 7)
+	rng := rand.New(rand.NewSource(8))
+	tail := &Tail{
+		Body: nn.Identity{},
+		Exit: models.NewExit(rng, "tail", 4, 5),
+	}
+	s := startServer(t, cls, tail)
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	feat := tensor.Randn(rng, 1, 4, 4, 4)
+	err = protocol.WriteFrame(conn, protocol.Frame{
+		Type: protocol.MsgClassifyFeat, ID: 77, Payload: protocol.EncodeTensor(feat),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := protocol.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != protocol.MsgResult || f.ID != 77 {
+		t.Fatalf("feature response %s id %d", f.Type, f.ID)
+	}
+}
+
+func TestClientClassifyFeaturesEndToEnd(t *testing.T) {
+	cls := testClassifier(t, 20)
+	rng := rand.New(rand.NewSource(21))
+	tail := &Tail{
+		Body: nn.Identity{},
+		Exit: models.NewExit(rng, "tail2", 8, 5),
+	}
+	s := startServer(t, cls, tail)
+	client, err := edge.DialCloud(s.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	feat := tensor.Randn(rng, 1, 8, 3, 3)
+	pred, conf, err := client.ClassifyFeatures(feat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred < 0 || pred >= 5 || conf <= 0 || conf > 1 {
+		t.Fatalf("implausible feature-mode result %d/%v", pred, conf)
+	}
+	// Reference: run the tail locally.
+	batch := feat.Reshape(1, 8, 3, 3)
+	want := tail.Logits(batch, false).ArgMaxRows()[0]
+	if pred != want {
+		t.Fatalf("feature-mode pred %d, local tail pred %d", pred, want)
+	}
+	// Raw and feature modes interleave on one connection.
+	if _, _, err := client.Classify(tensor.Randn(rng, 1, 3, 8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := client.ClassifyFeatures(feat); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerFeatureModeUnsupported(t *testing.T) {
+	s := startServer(t, testClassifier(t, 9), nil)
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rng := rand.New(rand.NewSource(10))
+	feat := tensor.Randn(rng, 1, 4, 4, 4)
+	err = protocol.WriteFrame(conn, protocol.Frame{
+		Type: protocol.MsgClassifyFeat, ID: 1, Payload: protocol.EncodeTensor(feat),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := protocol.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != protocol.MsgError {
+		t.Fatalf("expected error frame, got %s", f.Type)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	cls := testClassifier(t, 11)
+	s := startServer(t, cls, nil)
+	const clients, perClient = 6, 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			client, err := edge.DialCloud(s.Addr().String(), edge.DialConfig{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perClient; i++ {
+				if _, _, err := client.Classify(tensor.Randn(rng, 1, 3, 8, 8)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(c))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Requests; got != clients*perClient {
+		t.Fatalf("server saw %d requests, want %d", got, clients*perClient)
+	}
+}
+
+func TestServerCloseIsIdempotentAndDrains(t *testing.T) {
+	s := startServer(t, testClassifier(t, 12), nil)
+	client, err := edge.DialCloud(s.Addr().String(), edge.DialConfig{RequestTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	if _, _, err := client.Classify(tensor.Randn(rng, 1, 3, 8, 8)); err == nil {
+		t.Fatal("classify succeeded against a closed server")
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil, nil); err == nil {
+		t.Fatal("nil classifier accepted")
+	}
+}
+
+func TestServerStatsByteCounters(t *testing.T) {
+	cls := testClassifier(t, 14)
+	s := startServer(t, cls, nil)
+	client, err := edge.DialCloud(s.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	rng := rand.New(rand.NewSource(15))
+	if _, _, err := client.Classify(tensor.Randn(rng, 1, 3, 8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.BytesIn == 0 || st.BytesOut == 0 {
+		t.Fatalf("byte counters not updated: %+v", st)
+	}
+	if st.TotalConns != 1 {
+		t.Fatalf("TotalConns = %d, want 1", st.TotalConns)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/meanet/meanet/internal/data"
+	"github.com/meanet/meanet/internal/metrics"
+)
+
+// ClassDict is the paper's hard-class dictionary (Algorithm 1 step 3): a
+// bijection between the Nhard hard class labels and a dense label space
+// [0, Nhard) used by the extension exit.
+type ClassDict struct {
+	ToHard   map[int]int // original label → hard label
+	FromHard []int       // hard label → original label
+}
+
+// NewClassDict builds the dictionary for the given hard classes, assigning
+// dense labels in ascending original-label order (Algorithm 1 iterates
+// classes in order).
+func NewClassDict(hardClasses []int) (*ClassDict, error) {
+	if len(hardClasses) == 0 {
+		return nil, fmt.Errorf("core: empty hard class set")
+	}
+	sorted := append([]int(nil), hardClasses...)
+	sort.Ints(sorted)
+	d := &ClassDict{
+		ToHard:   make(map[int]int, len(sorted)),
+		FromHard: make([]int, 0, len(sorted)),
+	}
+	for _, c := range sorted {
+		if c < 0 {
+			return nil, fmt.Errorf("core: negative class label %d", c)
+		}
+		if _, dup := d.ToHard[c]; dup {
+			return nil, fmt.Errorf("core: duplicate hard class %d", c)
+		}
+		d.ToHard[c] = len(d.FromHard)
+		d.FromHard = append(d.FromHard, c)
+	}
+	return d, nil
+}
+
+// NumHard reports the number of hard classes.
+func (d *ClassDict) NumHard() int { return len(d.FromHard) }
+
+// IsHard reports whether an original label is a hard class.
+func (d *ClassDict) IsHard(class int) bool {
+	_, ok := d.ToHard[class]
+	return ok
+}
+
+// HardSet returns the hard classes as a set.
+func (d *ClassDict) HardSet() map[int]bool {
+	out := make(map[int]bool, len(d.FromHard))
+	for _, c := range d.FromHard {
+		out[c] = true
+	}
+	return out
+}
+
+// SelectHardClasses ranks classes by validation precision in increasing
+// order (equivalently FDR decreasing) and declares the first nHard of them
+// hard (Algorithm 1 step 2). The confusion matrix comes from evaluating the
+// main block on the validation split.
+func SelectHardClasses(cm *metrics.Confusion, nHard int) (*ClassDict, error) {
+	if nHard < 1 || nHard > cm.K {
+		return nil, fmt.Errorf("core: nHard %d out of range [1,%d]", nHard, cm.K)
+	}
+	rank := cm.RankByFDR()
+	return NewClassDict(rank[:nHard])
+}
+
+// SelectRandomClasses picks nHard classes uniformly at random — the paper's
+// Table IV/V ablation comparing complexity-aware selection against random
+// selection.
+func SelectRandomClasses(rng *rand.Rand, numClasses, nHard int) (*ClassDict, error) {
+	if nHard < 1 || nHard > numClasses {
+		return nil, fmt.Errorf("core: nHard %d out of range [1,%d]", nHard, numClasses)
+	}
+	perm := rng.Perm(numClasses)
+	return NewClassDict(perm[:nHard])
+}
+
+// FilterHardData selects the training instances whose labels are hard and
+// remaps their labels into the dense hard space (Algorithm 1 step 5).
+func FilterHardData(ds *data.Dataset, dict *ClassDict) *data.Dataset {
+	return ds.FilterClasses(dict.HardSet(), dict.ToHard, dict.NumHard())
+}

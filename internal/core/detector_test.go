@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDetectorTrainAndPredict(t *testing.T) {
+	s := testData(t, 30)
+	m := buildA(t, 30, 6)
+	cfg := quickCfg(8, 30)
+	if err := TrainMainBlock(m, s.Train, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cm, _, err := EvaluateMain(m, s.Train, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Dict, err = SelectHardClasses(cm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	det := NewHardnessDetector(rand.New(rand.NewSource(30)), m.MainOutChannels())
+	if err := TrainDetector(m, det, s.Train, cfg); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := DetectorAccuracy(m, det, s.Train, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The detector is trained on this very data; it must beat chance.
+	if acc < 0.6 {
+		t.Fatalf("detector train-set accuracy %.3f too low", acc)
+	}
+}
+
+func TestDetectorRequiresSelection(t *testing.T) {
+	s := testData(t, 31)
+	m := buildA(t, 31, 6)
+	det := NewHardnessDetector(rand.New(rand.NewSource(31)), m.MainOutChannels())
+	if err := TrainDetector(m, det, s.Train, quickCfg(1, 31)); err == nil {
+		t.Fatal("detector training without hard-class selection should error")
+	}
+	if _, err := DetectorAccuracy(m, det, s.Train, 16); err == nil {
+		t.Fatal("detector accuracy without hard-class selection should error")
+	}
+	m.Dict, _ = NewClassDict([]int{0, 1, 2})
+	if err := TrainDetector(m, nil, s.Train, quickCfg(1, 31)); err == nil {
+		t.Fatal("nil detector accepted")
+	}
+}
+
+func TestInferWithDetectorRouting(t *testing.T) {
+	s := testData(t, 32)
+	m := buildA(t, 32, 6)
+	cfg := quickCfg(8, 32)
+	if err := TrainMainBlock(m, s.Train, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cm, _, err := EvaluateMain(m, s.Train, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Dict, err = SelectHardClasses(cm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TrainEdgeBlocks(m, s.Train, cfg); err != nil {
+		t.Fatal(err)
+	}
+	det := NewHardnessDetector(rand.New(rand.NewSource(32)), m.MainOutChannels())
+	if err := TrainDetector(m, det, s.Train, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Routing with the detector must produce valid decisions and use the
+	// extension for at least some instances (the dataset has hard classes).
+	dec, err := m.InferDataset(s.Test, 16, Policy{UseCloud: false, Detector: det}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extUsed := 0
+	for _, d := range dec {
+		if d.Pred < 0 || d.Pred >= 6 {
+			t.Fatalf("invalid prediction %d", d.Pred)
+		}
+		if d.Exit == ExitExtension {
+			extUsed++
+		}
+	}
+	if extUsed == 0 {
+		t.Fatal("detector routed nothing to the extension path")
+	}
+
+	// Scoring still works under detector routing.
+	rep, err := ScoreDecisions(m, s.Test, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overall <= 1.0/6 {
+		t.Fatalf("detector-routed accuracy %.3f not better than chance", rep.Overall)
+	}
+}

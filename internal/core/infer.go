@@ -1,0 +1,190 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+// ExitPoint identifies where an instance's inference terminated.
+type ExitPoint int
+
+// Exit points of Algorithm 2.
+const (
+	ExitMain ExitPoint = iota + 1
+	ExitExtension
+	ExitCloud
+)
+
+// String names the exit point.
+func (e ExitPoint) String() string {
+	switch e {
+	case ExitMain:
+		return "main"
+	case ExitExtension:
+		return "extension"
+	case ExitCloud:
+		return "cloud"
+	default:
+		return "unknown"
+	}
+}
+
+// Decision records the outcome of Algorithm 2 for one instance.
+type Decision struct {
+	Pred     int
+	MainPred int // the main exit's own prediction (ŷ1), whatever the route
+	Exit     ExitPoint
+	Entropy  float64 // main-exit prediction entropy (instance complexity)
+
+	ConfMain float64 // max softmax score at the main exit
+	ConfExt  float64 // max softmax score at the extension exit (0 if not run)
+
+	// CloudFailed is set when the instance qualified for cloud offload but
+	// the cloud call failed; the decision then comes from the edge fallback.
+	CloudFailed bool
+}
+
+// CloudFunc classifies one raw instance on the cloud AI, returning the
+// predicted class and its confidence.
+type CloudFunc func(x *tensor.Tensor) (pred int, conf float64, err error)
+
+// Policy configures Algorithm 2.
+type Policy struct {
+	// Threshold is the entropy above which an instance is "complex" and is
+	// sent to the cloud (when UseCloud is set and a CloudFunc is available).
+	Threshold float64
+	// UseCloud enables the cloud branch.
+	UseCloud bool
+	// Detector, when non-nil, replaces the default easy/hard routing (main
+	// argmax ∈ hard set) with the learned binary detector — the paper's
+	// optional variant (§III-B).
+	Detector *HardnessDetector
+}
+
+// Infer runs Algorithm 2 on a batch: every instance passes through the main
+// block; high-entropy ("complex") instances go to the cloud; instances
+// predicted as hard classes take the extension path, with the more confident
+// of the two edge exits winning; everything else exits at the main block.
+// A failed cloud call falls back to the edge decision for that instance.
+func (m *MEANet) Infer(x *tensor.Tensor, pol Policy, cloud CloudFunc) ([]Decision, error) {
+	if x.Dims() != 4 {
+		return nil, fmt.Errorf("core: Infer expects NCHW input, got %v", x.Shape())
+	}
+	n := x.Dim(0)
+	feat, logits := m.MainForward(x, false)
+	probs := tensor.Softmax(logits)
+
+	var detectorFlags []bool
+	if pol.Detector != nil {
+		detectorFlags = pol.Detector.Predict(feat)
+	}
+	decisions := make([]Decision, n)
+	var hardIdx []int
+	for i := 0; i < n; i++ {
+		row := probs.Row(i)
+		pred1 := argmax(row)
+		d := &decisions[i]
+		d.Pred = pred1
+		d.MainPred = pred1
+		d.Exit = ExitMain
+		d.Entropy = tensor.Entropy(row)
+		d.ConfMain = float64(row[pred1])
+
+		if pol.UseCloud && cloud != nil && d.Entropy > pol.Threshold {
+			pred, _, err := cloud(x.Sample(i))
+			if err == nil {
+				d.Pred = pred
+				d.Exit = ExitCloud
+				continue
+			}
+			d.CloudFailed = true // fall through to the edge path
+		}
+		isHard := m.Dict != nil && m.Dict.IsHard(pred1)
+		if detectorFlags != nil {
+			isHard = detectorFlags[i]
+		}
+		if m.Dict != nil && m.ExtExit != nil && isHard {
+			hardIdx = append(hardIdx, i)
+		}
+	}
+
+	if len(hardIdx) > 0 {
+		subX := gatherSamples(x, hardIdx)
+		subF := gatherSamples(feat, hardIdx)
+		extLogits, err := m.ExtForward(subX, subF, false)
+		if err != nil {
+			return nil, err
+		}
+		extProbs := tensor.Softmax(extLogits)
+		for bi, i := range hardIdx {
+			row := extProbs.Row(bi)
+			pred2 := argmax(row)
+			d := &decisions[i]
+			d.ConfExt = float64(row[pred2])
+			// Select the more confident exit (§III-B); ties favour the main
+			// block, which saw all classes.
+			if d.ConfExt > d.ConfMain {
+				d.Pred = m.Dict.FromHard[pred2]
+			}
+			d.Exit = ExitExtension
+		}
+	}
+	return decisions, nil
+}
+
+// InferDataset runs Infer over a whole dataset in mini-batches, returning
+// one decision per instance in dataset order.
+func (m *MEANet) InferDataset(ds datasetView, batch int, pol Policy, cloud CloudFunc) ([]Decision, error) {
+	if batch < 1 {
+		return nil, errors.New("core: batch must be ≥1")
+	}
+	out := make([]Decision, 0, ds.Len())
+	for start := 0; start < ds.Len(); start += batch {
+		end := start + batch
+		if end > ds.Len() {
+			end = ds.Len()
+		}
+		idx := make([]int, end-start)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		x, _ := ds.Batch(idx)
+		ds64, err := m.Infer(x, pol, cloud)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds64...)
+	}
+	return out, nil
+}
+
+// datasetView is the subset of data.Dataset Infer needs; declared locally to
+// keep the dependency direction explicit.
+type datasetView interface {
+	Batch(indices []int) (*tensor.Tensor, []int)
+	Len() int
+}
+
+func argmax(row []float32) int {
+	best, bestV := 0, row[0]
+	for j, v := range row[1:] {
+		if v > bestV {
+			best, bestV = j+1, v
+		}
+	}
+	return best
+}
+
+// gatherSamples copies the selected leading-dimension slices into a new
+// tensor.
+func gatherSamples(t *tensor.Tensor, idx []int) *tensor.Tensor {
+	shape := append([]int{len(idx)}, t.Shape()[1:]...)
+	out := tensor.New(shape...)
+	sub := t.Numel() / t.Dim(0)
+	for bi, i := range idx {
+		copy(out.Data()[bi*sub:(bi+1)*sub], t.Sample(i).Data())
+	}
+	return out
+}

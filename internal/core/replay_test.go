@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/meanet/meanet/internal/data"
+)
+
+// shiftedData simulates newly collected environment data: the same class
+// structure but a different noise profile and seed, i.e. a distribution
+// shift relative to the original dataset.
+func shiftedData(t *testing.T, seed int64) *data.Synth {
+	t.Helper()
+	s, err := data.Generate(data.SynthConfig{
+		Classes: 6, Groups: 1, GroupSize: 3,
+		ImgSize: 8, Channels: 2,
+		TrainPerClass: 20, TestPerClass: 10,
+		GroupSpread: 0.5, NoiseBase: 0.45, NoiseTail: 0.5, Jitter: 2,
+		Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func setupAdapted(t *testing.T, seed int64) (*MEANet, *data.Synth) {
+	t.Helper()
+	s := testData(t, seed)
+	m := buildA(t, seed, 6)
+	cfg := quickCfg(10, seed)
+	if err := TrainMainBlock(m, s.Train, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cm, _, err := EvaluateMain(m, s.Train, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Dict, err = SelectHardClasses(cm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TrainEdgeBlocks(m, s.Train, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return m, s
+}
+
+func TestReplayTrainingAdaptsWithoutForgetting(t *testing.T) {
+	m, orig := setupAdapted(t, 40)
+	shifted := shiftedData(t, 4040)
+
+	// Hard-class accuracy on the original test set before continual update.
+	_, beforeOrig, err := HardSubsetAccuracy(m, orig.Test, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Continual update on the shifted environment with 50% replay.
+	cfg := quickCfg(8, 41)
+	if err := TrainEdgeBlocksWithReplay(m, shifted.Train, orig.Train, 0.5, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// The edge must have learned the new environment...
+	_, afterShift, err := HardSubsetAccuracy(m, shifted.Test, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afterShift < 0.3 {
+		t.Fatalf("adaptation to shifted data failed: hard accuracy %.3f", afterShift)
+	}
+	// ...without collapsing on the original one (replay guards forgetting).
+	_, afterOrig, err := HardSubsetAccuracy(m, orig.Test, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afterOrig < beforeOrig-0.25 {
+		t.Fatalf("catastrophic forgetting: original hard accuracy %.3f → %.3f", beforeOrig, afterOrig)
+	}
+}
+
+func TestReplayTrainingValidation(t *testing.T) {
+	m, orig := setupAdapted(t, 42)
+	shifted := shiftedData(t, 4242)
+	cfg := quickCfg(1, 42)
+
+	if err := TrainEdgeBlocksWithReplay(m, shifted.Train, orig.Train, -0.1, cfg); err == nil {
+		t.Fatal("negative replay fraction accepted")
+	}
+	if err := TrainEdgeBlocksWithReplay(m, shifted.Train, orig.Train, 1.5, cfg); err == nil {
+		t.Fatal("replay fraction > 1 accepted")
+	}
+
+	// Geometry mismatch must be rejected.
+	other, err := data.Generate(data.SynthConfig{
+		Classes: 6, Groups: 1, GroupSize: 3,
+		ImgSize: 10, Channels: 2,
+		TrainPerClass: 5, TestPerClass: 2,
+		GroupSpread: 0.5, NoiseBase: 0.3, NoiseTail: 0.3,
+		Seed: 43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TrainEdgeBlocksWithReplay(m, other.Train, orig.Train, 0.5, cfg); err == nil {
+		t.Fatal("mismatched image geometry accepted")
+	}
+
+	// Without selection the call must fail.
+	m2 := buildA(t, 44, 6)
+	if err := TrainEdgeBlocksWithReplay(m2, shifted.Train, orig.Train, 0.5, cfg); err == nil {
+		t.Fatal("replay training without hard-class selection accepted")
+	}
+}
+
+func TestReplayZeroFractionEqualsNewDataOnly(t *testing.T) {
+	m, orig := setupAdapted(t, 45)
+	shifted := shiftedData(t, 4545)
+	cfg := quickCfg(2, 45)
+	// Zero replay is valid and trains purely on the new samples.
+	if err := TrainEdgeBlocksWithReplay(m, shifted.Train, orig.Train, 0, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/meanet/meanet/internal/models"
+	"github.com/meanet/meanet/internal/nn"
+)
+
+// MEANet state files carry everything a deployment needs to resume
+// inference: the architecture fingerprint (variant, combine mode, class
+// count), the hard-class dictionary, and the weights plus batch-norm
+// statistics of every block:
+//
+//	magic "MEAS" | uint32 version | uint8 variant | uint8 combine |
+//	int32 numClasses | int32 nHard (-1 = no dictionary) | nHard × int32 |
+//	uint8 hasExtExit | weights blob (models.SaveWeights format)
+const (
+	stateMagic   = "MEAS"
+	stateVersion = 1
+)
+
+// SaveState writes the complete deployable state of a trained MEANet.
+func SaveState(w io.Writer, m *MEANet) error {
+	if _, err := io.WriteString(w, stateMagic); err != nil {
+		return fmt.Errorf("core: write state magic: %w", err)
+	}
+	hdr := []any{
+		uint32(stateVersion),
+		uint8(m.Variant),
+		uint8(m.Combine),
+		int32(m.NumClasses),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("core: write state header: %w", err)
+		}
+	}
+	nHard := int32(-1)
+	if m.Dict != nil {
+		nHard = int32(m.Dict.NumHard())
+	}
+	if err := binary.Write(w, binary.LittleEndian, nHard); err != nil {
+		return fmt.Errorf("core: write dictionary size: %w", err)
+	}
+	if m.Dict != nil {
+		for _, c := range m.Dict.FromHard {
+			if err := binary.Write(w, binary.LittleEndian, int32(c)); err != nil {
+				return fmt.Errorf("core: write hard class: %w", err)
+			}
+		}
+	}
+	hasExt := uint8(0)
+	layers := []nn.Layer{m.Main, m.MainExit, m.Adaptive, m.Extension}
+	if m.ExtExit != nil {
+		hasExt = 1
+		layers = append(layers, m.ExtExit)
+	}
+	if err := binary.Write(w, binary.LittleEndian, hasExt); err != nil {
+		return fmt.Errorf("core: write extension-exit flag: %w", err)
+	}
+	if err := models.SaveWeights(w, layers...); err != nil {
+		return fmt.Errorf("core: write weights: %w", err)
+	}
+	return nil
+}
+
+// LoadState restores a MEANet saved by SaveState into a structurally
+// identical (typically freshly built, untrained) MEANet: the architecture
+// fingerprint is validated, the hard-class dictionary installed, the
+// extension exit constructed if the snapshot has one, and all weights and
+// batch-norm statistics overwritten.
+func LoadState(r io.Reader, m *MEANet) error {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("core: read state magic: %w", err)
+	}
+	if string(magic) != stateMagic {
+		return fmt.Errorf("core: bad state magic %q", magic)
+	}
+	var version uint32
+	var variant, combine uint8
+	var numClasses, nHard int32
+	for _, dst := range []any{&version, &variant, &combine, &numClasses} {
+		if err := binary.Read(r, binary.LittleEndian, dst); err != nil {
+			return fmt.Errorf("core: read state header: %w", err)
+		}
+	}
+	if version != stateVersion {
+		return fmt.Errorf("core: unsupported state version %d", version)
+	}
+	if Variant(variant) != m.Variant {
+		return fmt.Errorf("core: state is variant %s, model is %s", Variant(variant), m.Variant)
+	}
+	if CombineMode(combine) != m.Combine {
+		return fmt.Errorf("core: state uses %s combination, model uses %s", CombineMode(combine), m.Combine)
+	}
+	if int(numClasses) != m.NumClasses {
+		return fmt.Errorf("core: state has %d classes, model has %d", numClasses, m.NumClasses)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &nHard); err != nil {
+		return fmt.Errorf("core: read dictionary size: %w", err)
+	}
+	switch {
+	case nHard == -1:
+		m.Dict = nil
+	case nHard < 1 || nHard > numClasses:
+		return fmt.Errorf("core: implausible dictionary size %d", nHard)
+	default:
+		hard := make([]int, nHard)
+		for i := range hard {
+			var c int32
+			if err := binary.Read(r, binary.LittleEndian, &c); err != nil {
+				return fmt.Errorf("core: read hard class: %w", err)
+			}
+			if c < 0 || c >= numClasses {
+				return fmt.Errorf("core: hard class %d out of range", c)
+			}
+			hard[i] = int(c)
+		}
+		dict, err := NewClassDict(hard)
+		if err != nil {
+			return err
+		}
+		m.Dict = dict
+	}
+	var hasExt uint8
+	if err := binary.Read(r, binary.LittleEndian, &hasExt); err != nil {
+		return fmt.Errorf("core: read extension-exit flag: %w", err)
+	}
+	layers := []nn.Layer{m.Main, m.MainExit, m.Adaptive, m.Extension}
+	switch hasExt {
+	case 0:
+		m.ExtExit = nil
+	case 1:
+		if m.Dict == nil {
+			return errors.New("core: state has an extension exit but no dictionary")
+		}
+		// Structure must match the snapshot; weights are overwritten below,
+		// so the initialization seed is irrelevant.
+		m.ExtExit = models.NewExit(rand.New(rand.NewSource(1)), "extexit", m.extOutC, m.Dict.NumHard())
+		layers = append(layers, m.ExtExit)
+	default:
+		return fmt.Errorf("core: bad extension-exit flag %d", hasExt)
+	}
+	if err := models.LoadWeights(r, layers...); err != nil {
+		return fmt.Errorf("core: read weights: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadStateRoundTrip(t *testing.T) {
+	s := testData(t, 50)
+	src := buildA(t, 50, 6)
+	cfg := quickCfg(8, 50)
+	if err := TrainMainBlock(src, s.Train, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cm, _, err := EvaluateMain(src, s.Train, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Dict, err = SelectHardClasses(cm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TrainEdgeBlocks(src, s.Train, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := SaveState(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh, differently initialized model.
+	dst := buildA(t, 999, 6)
+	if err := LoadState(bytes.NewReader(buf.Bytes()), dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Dict == nil || dst.Dict.NumHard() != 3 {
+		t.Fatal("dictionary not restored")
+	}
+	for i, c := range src.Dict.FromHard {
+		if dst.Dict.FromHard[i] != c {
+			t.Fatal("hard classes differ after restore")
+		}
+	}
+	if dst.ExtExit == nil {
+		t.Fatal("extension exit not rebuilt")
+	}
+
+	// The restored model must make byte-identical decisions, including on
+	// the extension path.
+	srcDec, err := src.InferDataset(s.Test, 16, Policy{UseCloud: false}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstDec, err := dst.InferDataset(s.Test, 16, Policy{UseCloud: false}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range srcDec {
+		if srcDec[i].Pred != dstDec[i].Pred || srcDec[i].Exit != dstDec[i].Exit {
+			t.Fatalf("decision %d differs after restore: %+v vs %+v", i, srcDec[i], dstDec[i])
+		}
+	}
+
+	// Exercise the extension path explicitly: its logits must be
+	// bit-identical between the original and the restored model.
+	x, _ := s.Test.Batch([]int{0, 1, 2, 3})
+	featSrc := src.Main.Forward(x, false)
+	extSrc, err := src.ExtForward(x, featSrc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	featDst := dst.Main.Forward(x, false)
+	extDst, err := dst.ExtForward(x, featDst, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range extSrc.Data() {
+		if extSrc.Data()[i] != extDst.Data()[i] {
+			t.Fatal("extension logits differ after restore")
+		}
+	}
+}
+
+func TestSaveLoadStateWithoutAdaptation(t *testing.T) {
+	src := buildA(t, 51, 6)
+	var buf bytes.Buffer
+	if err := SaveState(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := buildA(t, 52, 6)
+	if err := LoadState(bytes.NewReader(buf.Bytes()), dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Dict != nil || dst.ExtExit != nil {
+		t.Fatal("untrained snapshot should restore without dict or extension exit")
+	}
+}
+
+func TestLoadStateRejectsMismatches(t *testing.T) {
+	src := buildA(t, 53, 6)
+	var buf bytes.Buffer
+	if err := SaveState(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong variant.
+	b := buildB(t, 53, 6, CombineSum)
+	if err := LoadState(bytes.NewReader(buf.Bytes()), b); err == nil {
+		t.Fatal("variant mismatch accepted")
+	}
+	// Wrong combine mode on a variant-B snapshot.
+	var bufB bytes.Buffer
+	if err := SaveState(&bufB, b); err != nil {
+		t.Fatal(err)
+	}
+	bConcat := buildB(t, 53, 6, CombineConcat)
+	if err := LoadState(bytes.NewReader(bufB.Bytes()), bConcat); err == nil {
+		t.Fatal("combine-mode mismatch accepted")
+	}
+	// Wrong class count.
+	other := buildA(t, 53, 4)
+	if err := LoadState(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("class-count mismatch accepted")
+	}
+	// Corrupt magic.
+	raw := append([]byte(nil), buf.Bytes()...)
+	raw[0] = 'X'
+	dst := buildA(t, 54, 6)
+	if err := LoadState(bytes.NewReader(raw), dst); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+	// Truncation.
+	if err := LoadState(bytes.NewReader(buf.Bytes()[:buf.Len()/3]), dst); err == nil {
+		t.Fatal("truncated state accepted")
+	}
+}

@@ -1,0 +1,214 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SynthConfig parameterizes the synthetic image-classification generator.
+type SynthConfig struct {
+	Classes   int // total number of classes
+	Groups    int // number of confusable groups
+	GroupSize int // classes per confusable group (Groups*GroupSize ≤ Classes)
+
+	ImgSize  int // images are Channels × ImgSize × ImgSize
+	Channels int
+
+	TrainPerClass int
+	TestPerClass  int
+
+	ProtoComponents int     // sinusoidal components per prototype channel
+	GroupSpread     float64 // distance of group members from the shared base; smaller = harder
+	NoiseBase       float64 // noise floor applied to every instance
+	NoiseTail       float64 // scale of the exponential noise tail (creates complex instances)
+	Jitter          int     // maximum circular shift in pixels
+
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c SynthConfig) Validate() error {
+	switch {
+	case c.Classes < 2:
+		return fmt.Errorf("data: need ≥2 classes, got %d", c.Classes)
+	case c.Groups < 0 || c.GroupSize < 0:
+		return fmt.Errorf("data: negative group geometry %d×%d", c.Groups, c.GroupSize)
+	case c.Groups*c.GroupSize > c.Classes:
+		return fmt.Errorf("data: %d×%d grouped classes exceed %d total", c.Groups, c.GroupSize, c.Classes)
+	case c.ImgSize < 4:
+		return fmt.Errorf("data: image size %d too small", c.ImgSize)
+	case c.Channels < 1:
+		return fmt.Errorf("data: need ≥1 channel, got %d", c.Channels)
+	case c.TrainPerClass < 1 || c.TestPerClass < 1:
+		return fmt.Errorf("data: per-class counts must be ≥1 (train %d, test %d)", c.TrainPerClass, c.TestPerClass)
+	}
+	return nil
+}
+
+// GroupedClasses returns the labels that belong to confusable groups, in
+// label order. These are the classes the generator makes intrinsically hard.
+func (c SynthConfig) GroupedClasses() []int {
+	n := c.Groups * c.GroupSize
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Synth holds generated train and test splits plus the generating config.
+type Synth struct {
+	Config SynthConfig
+	Train  *Dataset
+	Test   *Dataset
+}
+
+// prototype is one class's pattern: a per-channel sum of random sinusoids,
+// normalized to zero mean and unit variance per channel.
+type prototype [][]float32 // [channel][H*W]
+
+// Generate builds the synthetic dataset described by the config.
+//
+// Classes 0..Groups*GroupSize-1 are arranged in confusable groups: each group
+// shares a base prototype and members differ only by a GroupSpread-scaled
+// perturbation, so a small model mixes them up (class-wise complexity).
+// The remaining classes get independent prototypes and are easy to separate.
+// Every instance additionally samples its own noise level with an
+// exponential tail (instance-wise complexity), plus a random circular shift
+// and amplitude scaling.
+func Generate(cfg SynthConfig) (*Synth, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	protos := makePrototypes(cfg, rng)
+
+	train := NewDataset(cfg.Classes*cfg.TrainPerClass, cfg.Channels, cfg.ImgSize, cfg.ImgSize, cfg.Classes)
+	test := NewDataset(cfg.Classes*cfg.TestPerClass, cfg.Channels, cfg.ImgSize, cfg.ImgSize, cfg.Classes)
+	fillSplit(cfg, rng, protos, train, cfg.TrainPerClass)
+	fillSplit(cfg, rng, protos, test, cfg.TestPerClass)
+	return &Synth{Config: cfg, Train: train, Test: test}, nil
+}
+
+func makePrototypes(cfg SynthConfig, rng *rand.Rand) []prototype {
+	comp := cfg.ProtoComponents
+	if comp < 1 {
+		comp = 4
+	}
+	newPattern := func() prototype {
+		p := make(prototype, cfg.Channels)
+		for ch := range p {
+			p[ch] = sinusoidField(rng, cfg.ImgSize, comp)
+		}
+		return p
+	}
+	addScaled := func(base, delta prototype, s float64) prototype {
+		out := make(prototype, len(base))
+		for ch := range base {
+			plane := make([]float32, len(base[ch]))
+			for i := range plane {
+				plane[i] = base[ch][i] + float32(s)*delta[ch][i]
+			}
+			normalize(plane)
+			out[ch] = plane
+		}
+		return out
+	}
+
+	protos := make([]prototype, cfg.Classes)
+	label := 0
+	for g := 0; g < cfg.Groups; g++ {
+		base := newPattern()
+		for m := 0; m < cfg.GroupSize; m++ {
+			protos[label] = addScaled(base, newPattern(), cfg.GroupSpread)
+			label++
+		}
+	}
+	for ; label < cfg.Classes; label++ {
+		protos[label] = newPattern()
+	}
+	return protos
+}
+
+// sinusoidField renders a random smooth pattern of n sinusoidal components
+// on an s×s grid, normalized to zero mean / unit variance.
+func sinusoidField(rng *rand.Rand, s, n int) []float32 {
+	plane := make([]float32, s*s)
+	for c := 0; c < n; c++ {
+		fx := 1 + rng.Float64()*3
+		fy := 1 + rng.Float64()*3
+		phase := rng.Float64() * 2 * math.Pi
+		amp := 0.5 + rng.Float64()
+		for y := 0; y < s; y++ {
+			for x := 0; x < s; x++ {
+				v := amp * math.Sin(2*math.Pi*(fx*float64(x)+fy*float64(y))/float64(s)+phase)
+				plane[y*s+x] += float32(v)
+			}
+		}
+	}
+	normalize(plane)
+	return plane
+}
+
+func normalize(plane []float32) {
+	var sum, sumSq float64
+	for _, v := range plane {
+		sum += float64(v)
+		sumSq += float64(v) * float64(v)
+	}
+	mean := sum / float64(len(plane))
+	variance := sumSq/float64(len(plane)) - mean*mean
+	std := math.Sqrt(variance)
+	if std < 1e-8 {
+		std = 1
+	}
+	for i := range plane {
+		plane[i] = float32((float64(plane[i]) - mean) / std)
+	}
+}
+
+func fillSplit(cfg SynthConfig, rng *rand.Rand, protos []prototype, ds *Dataset, perClass int) {
+	s := cfg.ImgSize
+	plane := s * s
+	idx := 0
+	for class := 0; class < cfg.Classes; class++ {
+		for k := 0; k < perClass; k++ {
+			// Instance-wise complexity: heavy-tailed per-instance noise.
+			sigma := cfg.NoiseBase + cfg.NoiseTail*rng.ExpFloat64()
+			amp := 0.8 + 0.4*rng.Float64()
+			dx, dy := 0, 0
+			if cfg.Jitter > 0 {
+				dx = rng.Intn(2*cfg.Jitter+1) - cfg.Jitter
+				dy = rng.Intn(2*cfg.Jitter+1) - cfg.Jitter
+			}
+			base := idx * cfg.Channels * plane
+			for ch := 0; ch < cfg.Channels; ch++ {
+				src := protos[class][ch]
+				dst := ds.X[base+ch*plane : base+(ch+1)*plane]
+				for y := 0; y < s; y++ {
+					sy := mod(y+dy, s)
+					for x := 0; x < s; x++ {
+						sx := mod(x+dx, s)
+						dst[y*s+x] = float32(amp)*src[sy*s+sx] + float32(sigma*rng.NormFloat64())
+					}
+				}
+			}
+			ds.Y[idx] = class
+			idx++
+		}
+	}
+	// Shuffle so class labels are not contiguous.
+	perm := rng.Perm(ds.N)
+	shuffled := ds.Subset(perm)
+	copy(ds.X, shuffled.X)
+	copy(ds.Y, shuffled.Y)
+}
+
+func mod(a, m int) int {
+	a %= m
+	if a < 0 {
+		a += m
+	}
+	return a
+}

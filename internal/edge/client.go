@@ -1,0 +1,212 @@
+// Package edge implements the edge runtime of the distributed system: the
+// cloud client transports (real TCP with optional link shaping, and an
+// in-process client for deterministic simulation) and the inference runtime
+// that executes Algorithm 2 with exit, byte and energy accounting.
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/meanet/meanet/internal/models"
+	"github.com/meanet/meanet/internal/netsim"
+	"github.com/meanet/meanet/internal/protocol"
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+// CloudClient classifies raw instances on the cloud AI.
+type CloudClient interface {
+	// Classify sends one CHW image and returns the cloud's prediction.
+	Classify(img *tensor.Tensor) (pred int, conf float64, err error)
+	// Close releases the transport.
+	Close() error
+}
+
+// DialConfig configures the TCP cloud client.
+type DialConfig struct {
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds one classify round trip (default 10s).
+	RequestTimeout time.Duration
+	// Link, when non-zero, shapes uploads through a simulated WiFi/WAN link.
+	Link netsim.Link
+}
+
+func (c *DialConfig) fillDefaults() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+}
+
+// TCPClient talks to a cloud.Server over one TCP connection. Requests are
+// serialized (one in flight at a time), matching the edge device model of a
+// single uplink.
+type TCPClient struct {
+	cfg DialConfig
+
+	mu     sync.Mutex
+	conn   net.Conn
+	nextID uint64
+
+	bytesSent uint64
+}
+
+var _ CloudClient = (*TCPClient)(nil)
+
+// DialCloud connects to a cloud server.
+func DialCloud(addr string, cfg DialConfig) (*TCPClient, error) {
+	cfg.fillDefaults()
+	if err := cfg.Link.Validate(); err != nil {
+		return nil, err
+	}
+	conn, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("edge: dial cloud %s: %w", addr, err)
+	}
+	return &TCPClient{cfg: cfg, conn: netsim.Shape(conn, cfg.Link)}, nil
+}
+
+// NewClientOnConn wraps an existing connection (used by tests to inject
+// faulty transports).
+func NewClientOnConn(conn net.Conn, cfg DialConfig) *TCPClient {
+	cfg.fillDefaults()
+	return &TCPClient{cfg: cfg, conn: conn}
+}
+
+// Classify performs one classify-raw round trip.
+func (c *TCPClient) Classify(img *tensor.Tensor) (int, float64, error) {
+	if img.Dims() != 3 {
+		return 0, 0, fmt.Errorf("edge: Classify expects a CHW image, got shape %v", img.Shape())
+	}
+	return c.roundTrip(protocol.MsgClassifyRaw, img)
+}
+
+// ClassifyFeatures sends a CHW feature tensor for the partitioned-network
+// mode (§III-C "sending features"); the server must be configured with a
+// feature tail.
+func (c *TCPClient) ClassifyFeatures(feat *tensor.Tensor) (int, float64, error) {
+	if feat.Dims() != 3 {
+		return 0, 0, fmt.Errorf("edge: ClassifyFeatures expects a CHW tensor, got shape %v", feat.Shape())
+	}
+	return c.roundTrip(protocol.MsgClassifyFeat, feat)
+}
+
+// roundTrip performs one classify exchange of the given message type.
+func (c *TCPClient) roundTrip(msgType protocol.MsgType, t *tensor.Tensor) (int, float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return 0, 0, errors.New("edge: client closed")
+	}
+	c.nextID++
+	id := c.nextID
+	payload := protocol.EncodeTensor(t)
+	if err := c.conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout)); err != nil {
+		return 0, 0, fmt.Errorf("edge: set deadline: %w", err)
+	}
+	if err := protocol.WriteFrame(c.conn, protocol.Frame{Type: msgType, ID: id, Payload: payload}); err != nil {
+		return 0, 0, fmt.Errorf("edge: send: %w", err)
+	}
+	c.bytesSent += uint64(len(payload))
+	f, err := protocol.ReadFrame(c.conn)
+	if err != nil {
+		return 0, 0, fmt.Errorf("edge: receive: %w", err)
+	}
+	if f.ID != id {
+		return 0, 0, fmt.Errorf("edge: response id %d for request %d", f.ID, id)
+	}
+	switch f.Type {
+	case protocol.MsgResult:
+		pred, conf, err := protocol.DecodeResult(f.Payload)
+		if err != nil {
+			return 0, 0, err
+		}
+		return int(pred), float64(conf), nil
+	case protocol.MsgError:
+		return 0, 0, fmt.Errorf("edge: cloud error: %s", f.Payload)
+	default:
+		return 0, 0, fmt.Errorf("edge: unexpected response type %s", f.Type)
+	}
+}
+
+// Ping round-trips a ping frame, verifying the link end to end.
+func (c *TCPClient) Ping() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return errors.New("edge: client closed")
+	}
+	c.nextID++
+	id := c.nextID
+	if err := c.conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout)); err != nil {
+		return err
+	}
+	if err := protocol.WriteFrame(c.conn, protocol.Frame{Type: protocol.MsgPing, ID: id}); err != nil {
+		return err
+	}
+	f, err := protocol.ReadFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	if f.Type != protocol.MsgPong || f.ID != id {
+		return fmt.Errorf("edge: bad pong (type %s id %d)", f.Type, f.ID)
+	}
+	return nil
+}
+
+// BytesSent reports the cumulative payload bytes uploaded.
+func (c *TCPClient) BytesSent() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytesSent
+}
+
+// Close shuts the connection down.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// InProcClient serves cloud requests from an in-process classifier — the
+// deterministic transport used by simulations and benchmarks. It is safe for
+// concurrent use (evaluation-mode forwards are stateless).
+type InProcClient struct {
+	Model *models.Classifier
+}
+
+var _ CloudClient = (*InProcClient)(nil)
+
+// Classify runs the classifier directly.
+func (c *InProcClient) Classify(img *tensor.Tensor) (int, float64, error) {
+	if c.Model == nil {
+		return 0, 0, errors.New("edge: in-process client has no model")
+	}
+	if img.Dims() != 3 {
+		return 0, 0, fmt.Errorf("edge: Classify expects a CHW image, got shape %v", img.Shape())
+	}
+	batch := img.Reshape(append([]int{1}, img.Shape()...)...)
+	logits := c.Model.Logits(batch, false)
+	probs := tensor.SoftmaxRow(logits.Row(0))
+	pred := 0
+	for i, v := range probs {
+		if v > probs[pred] {
+			pred = i
+		}
+	}
+	return pred, float64(probs[pred]), nil
+}
+
+// Close is a no-op.
+func (c *InProcClient) Close() error { return nil }

@@ -1,0 +1,301 @@
+package edge
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/meanet/meanet/internal/core"
+	"github.com/meanet/meanet/internal/data"
+	"github.com/meanet/meanet/internal/energy"
+	"github.com/meanet/meanet/internal/models"
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+func tinyMEANet(t *testing.T, seed int64) (*core.MEANet, *data.Synth) {
+	t.Helper()
+	s, err := data.Generate(data.SynthConfig{
+		Classes: 6, Groups: 1, GroupSize: 3,
+		ImgSize: 8, Channels: 2,
+		TrainPerClass: 25, TestPerClass: 10,
+		GroupSpread: 0.5, NoiseBase: 0.3, NoiseTail: 0.4, Jitter: 1,
+		Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b, err := models.BuildResNet(rng, models.ResNetSpec{
+		Name: "edgetest", InChannels: 2, StemChannels: 4,
+		Channels: []int{4, 8}, Blocks: []int{1, 1}, Strides: []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.BuildMEANetA(rng, b, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultTrainConfig(6, seed)
+	cfg.Batch = 16
+	cfg.LR.Initial = 0.05
+	if err := core.TrainMainBlock(m, s.Train, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cm, _, err := core.EvaluateMain(m, s.Train, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Dict, err = core.SelectHardClasses(cm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.TrainEdgeBlocks(m, s.Train, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return m, s
+}
+
+func tinyCloud(t *testing.T, seed int64, classes, channels int) *models.Classifier {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b, err := models.BuildResNet(rng, models.ResNetSpec{
+		Name: "cloudmodel", InChannels: channels, StemChannels: 8,
+		Channels: []int{8, 16}, Blocks: []int{2, 2}, Strides: []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return models.NewClassifier(rng, b, classes)
+}
+
+func testCost() *CostParams {
+	return &CostParams{
+		MainMACs:   1_000_000,
+		ExtMACs:    500_000,
+		Compute:    energy.EdgeGPUCIFAR(),
+		WiFi:       energy.DefaultWiFi(),
+		ImageBytes: 128,
+	}
+}
+
+func TestInProcClientMatchesDirectInference(t *testing.T) {
+	cls := tinyCloud(t, 1, 6, 2)
+	client := &InProcClient{Model: cls}
+	rng := rand.New(rand.NewSource(2))
+	img := tensor.Randn(rng, 1, 2, 8, 8)
+	pred, conf, err := client.Classify(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := img.Reshape(1, 2, 8, 8)
+	logits := cls.Logits(batch, false)
+	want := logits.ArgMaxRows()[0]
+	if pred != want {
+		t.Fatalf("in-proc pred %d, direct %d", pred, want)
+	}
+	if conf <= 0 || conf > 1 {
+		t.Fatalf("confidence %v out of (0,1]", conf)
+	}
+}
+
+func TestInProcClientValidation(t *testing.T) {
+	client := &InProcClient{}
+	rng := rand.New(rand.NewSource(3))
+	if _, _, err := client.Classify(tensor.Randn(rng, 1, 2, 8, 8)); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	client.Model = tinyCloud(t, 3, 6, 2)
+	if _, _, err := client.Classify(tensor.Randn(rng, 1, 1, 2, 8, 8)); err == nil {
+		t.Fatal("4-D input accepted")
+	}
+}
+
+func TestRuntimeEdgeOnlyAccounting(t *testing.T) {
+	m, s := tinyMEANet(t, 10)
+	rt, err := NewRuntime(m, core.Policy{UseCloud: false}, nil, testCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := s.Test.Batch([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	if _, err := rt.Classify(x); err != nil {
+		t.Fatal(err)
+	}
+	rep := rt.Report()
+	if rep.N != 8 {
+		t.Fatalf("N = %d, want 8", rep.N)
+	}
+	if rep.Exits[core.ExitCloud] != 0 || rep.BytesSent != 0 || rep.Energy.CommJ != 0 {
+		t.Fatalf("edge-only runtime leaked cloud activity: %+v", rep)
+	}
+	if rep.Energy.ComputeJ <= 0 {
+		t.Fatal("compute energy not accounted")
+	}
+}
+
+func TestRuntimeCloudAccounting(t *testing.T) {
+	m, s := tinyMEANet(t, 11)
+	cloud := &InProcClient{Model: tinyCloud(t, 11, 6, 2)}
+	rt, err := NewRuntime(m, core.Policy{Threshold: 0, UseCloud: true}, cloud, testCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := s.Test.Batch([]int{0, 1, 2, 3})
+	dec, err := rt.Classify(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := rt.Report()
+	// Threshold 0: everything has positive entropy, so all go to cloud.
+	if rep.Exits[core.ExitCloud] != 4 {
+		t.Fatalf("cloud exits %d, want 4 (decisions %+v)", rep.Exits[core.ExitCloud], dec)
+	}
+	if rep.CloudFraction() != 1 {
+		t.Fatalf("beta = %v, want 1", rep.CloudFraction())
+	}
+	if rep.BytesSent != 4*128 {
+		t.Fatalf("bytes sent %d, want 512", rep.BytesSent)
+	}
+	if rep.Energy.CommJ <= 0 {
+		t.Fatal("communication energy not accounted")
+	}
+	// Latency accounting: 4 uploads of 128 bytes at the paper's WiFi model.
+	wantComm := 4 * energy.DefaultWiFi().UploadTime(128)
+	if rep.LatencyComm != wantComm {
+		t.Fatalf("comm latency %v, want %v", rep.LatencyComm, wantComm)
+	}
+	if rep.LatencyCompute <= 0 {
+		t.Fatal("compute latency not accounted")
+	}
+}
+
+type failingClient struct{ calls int }
+
+func (f *failingClient) Classify(*tensor.Tensor) (int, float64, error) {
+	f.calls++
+	return 0, 0, errors.New("cloud down")
+}
+func (f *failingClient) Close() error { return nil }
+
+func TestRuntimeCloudFailureFallback(t *testing.T) {
+	m, s := tinyMEANet(t, 12)
+	fc := &failingClient{}
+	rt, err := NewRuntime(m, core.Policy{Threshold: 0, UseCloud: true}, fc, testCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := s.Test.Batch([]int{0, 1, 2})
+	dec, err := rt.Classify(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dec {
+		if d.Exit == core.ExitCloud {
+			t.Fatal("failed cloud still produced cloud exit")
+		}
+	}
+	rep := rt.Report()
+	if rep.CloudFailures != 3 {
+		t.Fatalf("cloud failures %d, want 3", rep.CloudFailures)
+	}
+	if fc.calls != 3 {
+		t.Fatalf("cloud called %d times, want 3", fc.calls)
+	}
+	// Failed uploads still cost transmission energy.
+	if rep.Energy.CommJ <= 0 {
+		t.Fatal("failed uploads should still cost communication energy")
+	}
+	// And every instance was still classified at the edge.
+	if rep.Exits[core.ExitMain]+rep.Exits[core.ExitExtension] != 3 {
+		t.Fatalf("fallback exits wrong: %+v", rep.Exits)
+	}
+}
+
+func TestRuntimeValidation(t *testing.T) {
+	m, _ := tinyMEANet(t, 13)
+	if _, err := NewRuntime(nil, core.Policy{}, nil, nil); err == nil {
+		t.Fatal("nil MEANet accepted")
+	}
+	if _, err := NewRuntime(m, core.Policy{UseCloud: true}, nil, nil); err == nil {
+		t.Fatal("cloud policy without client accepted")
+	}
+}
+
+func TestRuntimeSetThresholdAndReset(t *testing.T) {
+	m, s := tinyMEANet(t, 14)
+	cloud := &InProcClient{Model: tinyCloud(t, 14, 6, 2)}
+	rt, err := NewRuntime(m, core.Policy{Threshold: 100, UseCloud: true}, cloud, testCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := s.Test.Batch([]int{0, 1})
+	if _, err := rt.Classify(x); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Report().Exits[core.ExitCloud] != 0 {
+		t.Fatal("threshold 100 should keep everything at the edge")
+	}
+	rt.SetThreshold(0)
+	if _, err := rt.Classify(x); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Report().Exits[core.ExitCloud] != 2 {
+		t.Fatalf("after lowering threshold, cloud exits %d, want 2", rt.Report().Exits[core.ExitCloud])
+	}
+	rt.Reset()
+	rep := rt.Report()
+	if rep.N != 0 || rep.BytesSent != 0 || len(rep.Exits) != 0 {
+		t.Fatalf("Reset left state: %+v", rep)
+	}
+}
+
+func TestReportCloudFractionEmpty(t *testing.T) {
+	var rep Report
+	if rep.CloudFraction() != 0 {
+		t.Fatal("empty report should have beta 0")
+	}
+}
+
+// TestRuntimeConcurrentClassify drives one runtime from several goroutines;
+// accounting must stay consistent (run under -race in CI).
+func TestRuntimeConcurrentClassify(t *testing.T) {
+	m, s := tinyMEANet(t, 15)
+	cloud := &InProcClient{Model: tinyCloud(t, 15, 6, 2)}
+	rt, err := NewRuntime(m, core.Policy{Threshold: 0.5, UseCloud: true}, cloud, testCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, batches = 4, 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < batches; rep++ {
+				x, _ := s.Test.Batch([]int{0, 1, 2, 3})
+				if _, err := rt.Classify(x); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	rep := rt.Report()
+	if rep.N != workers*batches*4 {
+		t.Fatalf("accounting lost instances: N=%d, want %d", rep.N, workers*batches*4)
+	}
+	total := 0
+	for _, c := range rep.Exits {
+		total += c
+	}
+	if total != rep.N {
+		t.Fatalf("exit counts %d do not sum to N %d", total, rep.N)
+	}
+}

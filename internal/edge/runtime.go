@@ -1,0 +1,178 @@
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/meanet/meanet/internal/core"
+	"github.com/meanet/meanet/internal/energy"
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+// CostParams parameterizes the runtime's energy accounting: per-instance MAC
+// counts of the two edge paths (from the profiler), the calibrated compute
+// model, the WiFi model, and the raw upload size per image.
+type CostParams struct {
+	MainMACs   int64 // main block + main exit
+	ExtMACs    int64 // adaptive + extension + extension exit
+	Compute    energy.ComputeModel
+	WiFi       energy.WiFiModel
+	ImageBytes int64
+}
+
+// Report summarizes a runtime's activity.
+type Report struct {
+	N             int
+	Exits         map[core.ExitPoint]int
+	CloudFailures int
+	BytesSent     int64
+	Energy        energy.Breakdown
+
+	// Modeled cumulative latency: edge computation time and upload
+	// serialization time (the paper's latency argument for early exits:
+	// instances that terminate at the edge skip the upload entirely).
+	LatencyCompute time.Duration
+	LatencyComm    time.Duration
+}
+
+// CloudFraction is β: the fraction of instances that exited at the cloud.
+func (r Report) CloudFraction() float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return float64(r.Exits[core.ExitCloud]) / float64(r.N)
+}
+
+// Runtime executes Algorithm 2 over a MEANet with a cloud transport,
+// accumulating exit statistics and edge-side energy.
+type Runtime struct {
+	net    *core.MEANet
+	policy core.Policy
+	cloud  CloudClient
+	cost   *CostParams
+
+	mu             sync.Mutex
+	n              int
+	exits          map[core.ExitPoint]int
+	cloudFailures  int
+	bytesSent      int64
+	energyTotal    energy.Breakdown
+	latencyCompute time.Duration
+	latencyComm    time.Duration
+}
+
+// NewRuntime builds a runtime. cloud may be nil (edge-only operation);
+// cost may be nil (no energy accounting).
+func NewRuntime(m *core.MEANet, policy core.Policy, cloud CloudClient, cost *CostParams) (*Runtime, error) {
+	if m == nil {
+		return nil, errors.New("edge: nil MEANet")
+	}
+	if policy.UseCloud && cloud == nil {
+		return nil, errors.New("edge: policy enables cloud but no cloud client given")
+	}
+	return &Runtime{
+		net:    m,
+		policy: policy,
+		cloud:  cloud,
+		cost:   cost,
+		exits:  make(map[core.ExitPoint]int),
+	}, nil
+}
+
+// Policy returns the active inference policy.
+func (r *Runtime) Policy() core.Policy { return r.policy }
+
+// SetThreshold updates the entropy threshold (e.g. for runtime adaptation).
+func (r *Runtime) SetThreshold(th float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.policy.Threshold = th
+}
+
+// Classify runs Algorithm 2 on a batch, updating the runtime's accounting.
+func (r *Runtime) Classify(x *tensor.Tensor) ([]core.Decision, error) {
+	var cloudFn core.CloudFunc
+	if r.policy.UseCloud && r.cloud != nil {
+		cloudFn = func(img *tensor.Tensor) (int, float64, error) {
+			pred, conf, err := r.cloud.Classify(img)
+			if err != nil {
+				return 0, 0, fmt.Errorf("edge: cloud classify: %w", err)
+			}
+			return pred, conf, nil
+		}
+	}
+	r.mu.Lock()
+	pol := r.policy
+	r.mu.Unlock()
+	decisions, err := r.net.Infer(x, pol, cloudFn)
+	if err != nil {
+		return nil, err
+	}
+	r.account(decisions)
+	return decisions, nil
+}
+
+// account folds a batch of decisions into the counters.
+func (r *Runtime) account(decisions []core.Decision) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, d := range decisions {
+		r.n++
+		r.exits[d.Exit]++
+		if d.CloudFailed {
+			r.cloudFailures++
+		}
+		if r.cost == nil {
+			continue
+		}
+		// Every instance pays the main path (Algorithm 2 runs the main block
+		// unconditionally).
+		r.energyTotal.ComputeJ += r.cost.Compute.EnergyJ(r.cost.MainMACs)
+		r.latencyCompute += r.cost.Compute.Latency(r.cost.MainMACs)
+		if d.Exit == core.ExitExtension {
+			r.energyTotal.ComputeJ += r.cost.Compute.EnergyJ(r.cost.ExtMACs)
+			r.latencyCompute += r.cost.Compute.Latency(r.cost.ExtMACs)
+		}
+		// Uploads cost energy whether or not the cloud answered (a failed
+		// attempt still transmitted).
+		if d.Exit == core.ExitCloud || d.CloudFailed {
+			r.bytesSent += r.cost.ImageBytes
+			r.energyTotal.CommJ += r.cost.WiFi.UploadEnergyJ(r.cost.ImageBytes)
+			r.latencyComm += r.cost.WiFi.UploadTime(r.cost.ImageBytes)
+		}
+	}
+}
+
+// Report snapshots the accumulated statistics.
+func (r *Runtime) Report() Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	exits := make(map[core.ExitPoint]int, len(r.exits))
+	for k, v := range r.exits {
+		exits[k] = v
+	}
+	return Report{
+		N:              r.n,
+		Exits:          exits,
+		CloudFailures:  r.cloudFailures,
+		BytesSent:      r.bytesSent,
+		Energy:         r.energyTotal,
+		LatencyCompute: r.latencyCompute,
+		LatencyComm:    r.latencyComm,
+	}
+}
+
+// Reset clears the accounting (the policy and transports stay).
+func (r *Runtime) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n = 0
+	r.exits = make(map[core.ExitPoint]int)
+	r.cloudFailures = 0
+	r.bytesSent = 0
+	r.energyTotal = energy.Breakdown{}
+	r.latencyCompute = 0
+	r.latencyComm = 0
+}

@@ -1,0 +1,162 @@
+package edge_test
+
+// Integration tests of the full edge-cloud path over real TCP, including
+// link shaping and transport fault injection. They live in package edge_test
+// to exercise only the public APIs of edge and cloud together.
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/meanet/meanet/internal/cloud"
+	"github.com/meanet/meanet/internal/edge"
+	"github.com/meanet/meanet/internal/models"
+	"github.com/meanet/meanet/internal/netsim"
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+func buildCloudModel(t *testing.T, seed int64) *models.Classifier {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b, err := models.BuildResNet(rng, models.ResNetSpec{
+		Name: "itest", InChannels: 3, StemChannels: 4,
+		Channels: []int{4, 8}, Blocks: []int{1, 1}, Strides: []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return models.NewClassifier(rng, b, 4)
+}
+
+func TestTCPRoundTripOverShapedLink(t *testing.T) {
+	cls := buildCloudModel(t, 1)
+	srv, err := cloud.NewServer(cls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := edge.DialCloud(srv.Addr().String(), edge.DialConfig{
+		Link: netsim.Link{Latency: 5 * time.Millisecond, Mbps: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	rng := rand.New(rand.NewSource(2))
+	img := tensor.Randn(rng, 1, 3, 8, 8)
+	start := time.Now()
+	pred, conf, err := client.Classify(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("shaped round trip took %v, want ≥ link latency", elapsed)
+	}
+	if pred < 0 || pred >= 4 || conf <= 0 {
+		t.Fatalf("implausible result %d/%v", pred, conf)
+	}
+	if client.BytesSent() == 0 {
+		t.Fatal("client byte counter not updated")
+	}
+}
+
+func TestTCPClientTimesOutOnSilentServer(t *testing.T) {
+	// A listener that accepts and never answers.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			// Swallow everything, never respond.
+			buf := make([]byte, 4096)
+			for {
+				if _, err := conn.Read(buf); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	client, err := edge.DialCloud(ln.Addr().String(), edge.DialConfig{RequestTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	rng := rand.New(rand.NewSource(3))
+	start := time.Now()
+	if _, _, err := client.Classify(tensor.Randn(rng, 1, 3, 8, 8)); err == nil {
+		t.Fatal("classify succeeded against a silent server")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout did not bound the round trip")
+	}
+}
+
+func TestTCPClientSurvivesInjectedTransportFault(t *testing.T) {
+	cls := buildCloudModel(t, 4)
+	srv, err := cloud.NewServer(cls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough budget for one full request, then the link breaks.
+	faulty := netsim.InjectFault(conn, netsim.FailWrites, 1200)
+	client := edge.NewClientOnConn(faulty, edge.DialConfig{RequestTimeout: time.Second})
+	defer client.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	img := tensor.Randn(rng, 1, 3, 8, 8) // 3*8*8*4 ≈ 768B payload + header
+	if _, _, err := client.Classify(img); err != nil {
+		t.Fatalf("first classify should fit the budget: %v", err)
+	}
+	if _, _, err := client.Classify(img); err == nil {
+		t.Fatal("classify succeeded over a broken link")
+	}
+}
+
+func TestTCPClientClosedClassifyFails(t *testing.T) {
+	cls := buildCloudModel(t, 6)
+	srv, err := cloud.NewServer(cls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := edge.DialCloud(srv.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	rng := rand.New(rand.NewSource(7))
+	if _, _, err := client.Classify(tensor.Randn(rng, 1, 3, 8, 8)); err == nil {
+		t.Fatal("classify succeeded on closed client")
+	}
+}

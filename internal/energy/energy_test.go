@@ -1,0 +1,159 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestWiFiPowerMatchesPaper(t *testing.T) {
+	w := DefaultWiFi()
+	// Paper: P_upload = 283.17 × 18.88 + 132.86 mW ≈ 5.48 W.
+	if got := w.UploadPowerWatts(); math.Abs(got-5.479) > 0.01 {
+		t.Fatalf("upload power %v W, paper says ≈5.48", got)
+	}
+}
+
+func TestUploadTimeMatchesPaperCIFAR(t *testing.T) {
+	w := DefaultWiFi()
+	// CIFAR image: 32×32×3 bytes → paper reports t_cu = 1.3 ms.
+	got := w.UploadTime(RawImageBytes(32, 32, 3))
+	if math.Abs(got.Seconds()-0.0013) > 0.0001 {
+		t.Fatalf("CIFAR upload time %v, paper says ≈1.3ms", got)
+	}
+}
+
+func TestUploadTimeMatchesPaperImageNet(t *testing.T) {
+	w := DefaultWiFi()
+	// ImageNet image: 224×224×3 bytes → paper reports t_cu = 63.7 ms.
+	got := w.UploadTime(RawImageBytes(224, 224, 3))
+	if math.Abs(got.Seconds()-0.0637) > 0.001 {
+		t.Fatalf("ImageNet upload time %v, paper says ≈63.7ms", got)
+	}
+}
+
+func TestUploadEnergyMatchesPaper(t *testing.T) {
+	w := DefaultWiFi()
+	// Paper Table VII: E_cu = 7.12 mJ (CIFAR), 349 mJ (ImageNet).
+	if got := w.UploadEnergyJ(RawImageBytes(32, 32, 3)); math.Abs(got-0.00712) > 0.0002 {
+		t.Fatalf("CIFAR upload energy %v J, paper says ≈7.12 mJ", got)
+	}
+	if got := w.UploadEnergyJ(RawImageBytes(224, 224, 3)); math.Abs(got-0.349) > 0.005 {
+		t.Fatalf("ImageNet upload energy %v J, paper says ≈349 mJ", got)
+	}
+}
+
+func TestComputeEnergyMatchesPaperCalibration(t *testing.T) {
+	// CIFAR row: 56 W × 0.056 ms ≈ 3.14 mJ at the calibrated MAC rate for a
+	// 77M-MAC model.
+	cm := EdgeGPUCIFAR()
+	e := cm.EnergyJ(77e6)
+	if math.Abs(e-0.00314) > 0.0003 {
+		t.Fatalf("CIFAR compute energy %v J, paper says ≈3.14 mJ", e)
+	}
+	// ImageNet row: 75 W × 0.203 ms ≈ 15.2 mJ for a 1.82G-MAC model.
+	cm = EdgeGPUImageNet()
+	e = cm.EnergyJ(1.82e9)
+	if math.Abs(e-0.01523) > 0.001 {
+		t.Fatalf("ImageNet compute energy %v J, paper says ≈15.23 mJ", e)
+	}
+}
+
+func TestLatencyZeroForNonPositiveInputs(t *testing.T) {
+	cm := EdgeGPUCIFAR()
+	if cm.Latency(0) != 0 || cm.Latency(-5) != 0 {
+		t.Fatal("non-positive MACs should cost nothing")
+	}
+	w := DefaultWiFi()
+	if w.UploadTime(0) != 0 {
+		t.Fatal("zero bytes should upload instantly")
+	}
+}
+
+func TestTableVIIAssembly(t *testing.T) {
+	p := TableVII(EdgeGPUCIFAR(), DefaultWiFi(), 77e6, RawImageBytes(32, 32, 3))
+	if p.GPUPowerW != 56 {
+		t.Fatalf("GPU power %v", p.GPUPowerW)
+	}
+	if p.ComputeTime <= 0 || p.UploadTime <= 0 {
+		t.Fatal("times must be positive")
+	}
+	if p.ComputeTime > time.Millisecond {
+		t.Fatalf("compute time %v unexpectedly large", p.ComputeTime)
+	}
+}
+
+func TestCostModelTableIAlgebra(t *testing.T) {
+	c := CostModel{
+		N:               10000,
+		EdgeComputeJ:    0.00314,
+		UploadRawJ:      0.00712,
+		UploadFeaturesJ: 0.01,
+		Beta:            0.15,
+		Q:               0.5,
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	edge := c.EdgeOnly()
+	if math.Abs(edge.TotalJ()-31.4) > 0.01 || edge.CommJ != 0 {
+		t.Fatalf("edge-only %+v", edge)
+	}
+	cloud := c.CloudOnly()
+	if math.Abs(cloud.TotalJ()-71.2) > 0.01 || cloud.ComputeJ != 0 {
+		t.Fatalf("cloud-only %+v", cloud)
+	}
+	raw := c.EdgeCloudRaw()
+	if math.Abs(raw.ComputeJ-31.4) > 0.01 || math.Abs(raw.CommJ-0.15*71.2) > 0.01 {
+		t.Fatalf("edge-cloud raw %+v", raw)
+	}
+	feat := c.EdgeCloudFeatures()
+	if math.Abs(feat.ComputeJ-15.7) > 0.01 || math.Abs(feat.CommJ-0.15*10000*0.01) > 0.01 {
+		t.Fatalf("edge-cloud features %+v", feat)
+	}
+}
+
+func TestCostModelBetaMonotonicity(t *testing.T) {
+	base := CostModel{N: 1000, EdgeComputeJ: 0.003, UploadRawJ: 0.007}
+	prev := -1.0
+	for beta := 0.0; beta <= 1.0; beta += 0.1 {
+		c := base
+		c.Beta = beta
+		tot := c.EdgeCloudRaw().TotalJ()
+		if tot <= prev {
+			t.Fatalf("edge-cloud raw energy not increasing in beta at %v", beta)
+		}
+		prev = tot
+	}
+}
+
+func TestCostModelValidation(t *testing.T) {
+	bad := []CostModel{
+		{N: -1},
+		{Beta: 1.5},
+		{Q: -0.1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestBreakdownAdd(t *testing.T) {
+	a := Breakdown{ComputeJ: 1, CommJ: 2}
+	b := Breakdown{ComputeJ: 3, CommJ: 4}
+	s := a.Add(b)
+	if s.ComputeJ != 4 || s.CommJ != 6 || s.TotalJ() != 10 {
+		t.Fatalf("Add result %+v", s)
+	}
+}
+
+func TestFeatureBytes(t *testing.T) {
+	if FeatureBytes(100) != 400 {
+		t.Fatal("feature bytes should be 4 per element")
+	}
+	if RawImageBytes(32, 32, 3) != 3072 {
+		t.Fatal("raw image bytes wrong")
+	}
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/meanet/meanet/internal/core"
+	"github.com/meanet/meanet/internal/profile"
+)
+
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// AblationCombineRow is one feature-combination strategy.
+type AblationCombineRow struct {
+	Mode      core.CombineMode
+	TrainHard float64
+	TestHard  float64
+}
+
+// AblationCombineResult compares how the adaptive block's features join the
+// main features: sum (paper default), concatenation (paper alternative), and
+// no adaptive block at all (the failure mode §III-A argues against).
+type AblationCombineResult struct {
+	Rows []AblationCombineRow
+}
+
+// AblationCombine retrains the edge blocks of the C100-B system under each
+// combination mode, sharing the pretrained main block.
+func AblationCombine(ctx *Context) (*AblationCombineResult, error) {
+	sys, err := ctx.System(C100B)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationCombineResult{}
+	for i, mode := range []core.CombineMode{core.CombineSum, core.CombineConcat, core.CombineMainOnly} {
+		probe, err := ctx.freshEdgeWithCombine(sys, mode, ctx.cfg.Seed+70+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		probe.Dict = sys.Edge.Dict
+		cfg := core.DefaultTrainConfig(ctx.cfg.EdgeEpochs, ctx.cfg.Seed+71+int64(i))
+		ctx.cfg.logf("[ablation] edge training with combine=%s", mode)
+		if err := core.TrainEdgeBlocks(probe, sys.Train, cfg); err != nil {
+			return nil, err
+		}
+		trMain, trMEA, err := core.HardSubsetAccuracy(probe, sys.Train, 64)
+		if err != nil {
+			return nil, err
+		}
+		_, teMEA, err := core.HardSubsetAccuracy(probe, sys.Synth.Test, 64)
+		if err != nil {
+			return nil, err
+		}
+		_ = trMain
+		res.Rows = append(res.Rows, AblationCombineRow{Mode: mode, TrainHard: trMEA, TestHard: teMEA})
+	}
+	return res, nil
+}
+
+// freshEdgeWithCombine rebuilds the system's architecture with a different
+// combination mode and the pretrained main block copied in.
+func (ctx *Context) freshEdgeWithCombine(sys *System, mode core.CombineMode, seed int64) (*core.MEANet, error) {
+	if sys.Key != C100B {
+		return nil, fmt.Errorf("experiments: combine ablation defined for %s only", C100B)
+	}
+	probe, err := ctx.FreshEdgeWithPretrainedMain(sys, seed)
+	if err != nil {
+		return nil, err
+	}
+	if mode == probe.Combine {
+		return probe, nil
+	}
+	if mode == core.CombineConcat {
+		// Concatenation doubles the extension input width: rebuild the whole
+		// MEANet in concat mode, then copy the main weights over.
+		rebuilt, err := ctx.rebuildC100BWithMode(sys, mode, seed)
+		if err != nil {
+			return nil, err
+		}
+		return rebuilt, nil
+	}
+	// CombineMainOnly keeps all shapes; just switch the mode.
+	probe.Combine = mode
+	return probe, nil
+}
+
+func (ctx *Context) rebuildC100BWithMode(sys *System, mode core.CombineMode, seed int64) (*core.MEANet, error) {
+	rng := newSeededRand(seed)
+	b, err := buildC100Backbone(rng)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.BuildMEANetB(rng, b, 2, sys.Synth.Train.NumClasses, mode)
+	if err != nil {
+		return nil, err
+	}
+	if err := copyMain(sys.Edge, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// AblationCombineResult rendering.
+func (r *AblationCombineResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation — feature combination at the extension block input (SynthC100, model B)\n")
+	w := tabwriter.NewWriter(&sb, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "combination\thard train acc\thard test acc")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%.2f%%\t%.2f%%\n", row.Mode, 100*row.TrainHard, 100*row.TestHard)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// AblationOptRow is one training strategy.
+type AblationOptRow struct {
+	Strategy   string
+	OverallAcc float64
+	HardAcc    float64
+	MemoryMiB  float64 // modeled training memory at batch 128
+}
+
+// AblationOptResult compares blockwise training (ours) against joint and
+// separate optimization (§III-A) on accuracy and modeled training memory.
+type AblationOptResult struct {
+	Rows []AblationOptRow
+}
+
+// AblationOptimization trains three fresh C100-B-architecture MEANets from
+// scratch under the three optimization strategies and evaluates edge-only
+// accuracy.
+func AblationOptimization(ctx *Context) (*AblationOptResult, error) {
+	sys, err := ctx.System(C100B)
+	if err != nil {
+		return nil, err
+	}
+	inShape := profile.Shape{C: sys.Synth.Train.C, H: sys.Synth.Train.H, W: sys.Synth.Train.W}
+	res := &AblationOptResult{}
+
+	// Blockwise = the cached system itself.
+	{
+		rep, err := core.Evaluate(sys.Edge, sys.Synth.Test, 64, core.Policy{UseCloud: false}, nil)
+		if err != nil {
+			return nil, err
+		}
+		p, err := profile.ProfileMEANet(sys.Edge, inShape, 0)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblationOptRow{
+			Strategy:   "blockwise (ours)",
+			OverallAcc: rep.Overall,
+			HardAcc:    rep.HardClasses,
+			MemoryMiB:  p.BlockwiseTrainingMemory(128).MiB(),
+		})
+	}
+
+	train := func(name string, run func(m *core.MEANet) error, seed int64) error {
+		m, err := ctx.rebuildC100BWithMode(sys, core.CombineSum, seed)
+		if err != nil {
+			return err
+		}
+		ctx.cfg.logf("[ablation] %s optimization", name)
+		if err := run(m); err != nil {
+			return err
+		}
+		rep, err := core.Evaluate(m, sys.Synth.Test, 64, core.Policy{UseCloud: false}, nil)
+		if err != nil {
+			return err
+		}
+		p, err := profile.ProfileMEANet(m, inShape, 0)
+		if err != nil {
+			return err
+		}
+		res.Rows = append(res.Rows, AblationOptRow{
+			Strategy:   name,
+			OverallAcc: rep.Overall,
+			HardAcc:    rep.HardClasses,
+			MemoryMiB:  p.JointTrainingMemory(128).MiB(),
+		})
+		return nil
+	}
+
+	jointEpochs := ctx.cfg.MainEpochs + ctx.cfg.EdgeEpochs // same budget as ours
+	if err := train("joint", func(m *core.MEANet) error {
+		return core.TrainJoint(m, sys.Train, core.DefaultTrainConfig(jointEpochs, ctx.cfg.Seed+81), 0.5, 0.5)
+	}, ctx.cfg.Seed+80); err != nil {
+		return nil, err
+	}
+	if err := train("separate", func(m *core.MEANet) error {
+		half := (jointEpochs + 1) / 2
+		return core.TrainSeparate(m, sys.Train, core.DefaultTrainConfig(half, ctx.cfg.Seed+83))
+	}, ctx.cfg.Seed+82); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// String renders the comparison.
+func (r *AblationOptResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation — exit optimization strategies (SynthC100, model B architecture)\n")
+	w := tabwriter.NewWriter(&sb, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "strategy\toverall acc\thard acc\ttrain memory (MiB, batch 128)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%.2f%%\t%.2f%%\t%.1f\n",
+			row.Strategy, 100*row.OverallAcc, 100*row.HardAcc, row.MemoryMiB)
+	}
+	w.Flush()
+	sb.WriteString("paper: joint achieves the best accuracy but is unaffordable at the edge (§III-A)\n")
+	return sb.String()
+}

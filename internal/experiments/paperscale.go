@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/meanet/meanet/internal/core"
+	"github.com/meanet/meanet/internal/models"
+	"github.com/meanet/meanet/internal/profile"
+)
+
+// PaperModel is one of the four paper-scale model configurations. These are
+// never trained — they exist so the profiler reproduces the paper's static
+// tables (Table VI, Table VII, Fig 6) at the original model sizes.
+type PaperModel struct {
+	Name       string
+	Net        *core.MEANet
+	InShape    profile.Shape
+	ExtClasses int // Nhard used for the hypothetical extension exit
+}
+
+// PaperScaleModels builds the four configurations evaluated in the paper:
+// ResNet32 model A and B on CIFAR-100 geometry, and MobileNetV2/ResNet18
+// model B on ImageNet geometry.
+func PaperScaleModels() ([]PaperModel, error) {
+	rng := rand.New(rand.NewSource(1))
+	var out []PaperModel
+
+	// CIFAR-100, ResNet32 A: split after group 2 of 3.
+	b32a, err := models.BuildResNet(rng, models.ResNet32Paper())
+	if err != nil {
+		return nil, err
+	}
+	r32a, err := core.BuildMEANetA(rng, b32a, 2, 100)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, PaperModel{
+		Name: "CIFAR-100, ResNet32 A", Net: r32a,
+		InShape: profile.Shape{C: 3, H: 32, W: 32}, ExtClasses: 50,
+	})
+
+	// CIFAR-100, ResNet32 B: complete net + 4 extension blocks.
+	b32b, err := models.BuildResNet(rng, models.ResNet32Paper())
+	if err != nil {
+		return nil, err
+	}
+	r32b, err := core.BuildMEANetB(rng, b32b, 4, 100, core.CombineSum)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, PaperModel{
+		Name: "CIFAR-100, ResNet32 B", Net: r32b,
+		InShape: profile.Shape{C: 3, H: 32, W: 32}, ExtClasses: 50,
+	})
+
+	// ImageNet, MobileNetV2 B: the paper designs its extension block with
+	// four residual blocks; we keep them inverted-residual bottlenecks at
+	// 320 channels so the trained-part size stays in the published ballpark.
+	bmv2, err := models.BuildMobileNet(rng, models.MobileNetV2Paper())
+	if err != nil {
+		return nil, err
+	}
+	ext, err := models.InvertedExtensionBlock(rng, "mobilenetv2.extension", 1280, 320, 4, 1)
+	if err != nil {
+		return nil, err
+	}
+	mv2, err := core.BuildMEANetBCustom(rng, bmv2, ext, 320, 1000, core.CombineSum)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, PaperModel{
+		Name: "ImageNet, MobileNetV2 B", Net: mv2,
+		InShape: profile.Shape{C: 3, H: 224, W: 224}, ExtClasses: 500,
+	})
+
+	// ImageNet, ResNet18 B.
+	b18, err := models.BuildResNet(rng, models.ResNet18Paper())
+	if err != nil {
+		return nil, err
+	}
+	r18, err := core.BuildMEANetB(rng, b18, 4, 1000, core.CombineSum)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, PaperModel{
+		Name: "ImageNet, ResNet18 B", Net: r18,
+		InShape: profile.Shape{C: 3, H: 224, W: 224}, ExtClasses: 500,
+	})
+	return out, nil
+}
+
+// ProfilePaperModel runs the profiler on one paper-scale configuration.
+func ProfilePaperModel(pm PaperModel) (profile.MEANetProfile, error) {
+	p, err := profile.ProfileMEANet(pm.Net, pm.InShape, pm.ExtClasses)
+	if err != nil {
+		return p, fmt.Errorf("experiments: profile %s: %w", pm.Name, err)
+	}
+	return p, nil
+}

@@ -1,0 +1,456 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/meanet/meanet/internal/core"
+	"github.com/meanet/meanet/internal/energy"
+)
+
+// TableIResult instantiates the Table I cost algebra with the paper's
+// per-image constants.
+type TableIResult struct {
+	Model energy.CostModel
+	Rows  []TableIRow
+}
+
+// TableIRow is one deployment mode.
+type TableIRow struct {
+	Mode     string
+	Formula  string
+	ComputeJ float64
+	CommJ    float64
+}
+
+// TableI instantiates the cost estimation table with the CIFAR constants
+// (x = 3.14 mJ, x_cu = 7.12 mJ), β = 0.15 and q = 0.5.
+func TableI(*Context) (*TableIResult, error) {
+	cm := energy.CostModel{
+		N:               10000,
+		EdgeComputeJ:    0.00314,
+		UploadRawJ:      0.00712,
+		UploadFeaturesJ: 0.0107, // 64ch × 8×8 float32 features ≈ 16 KiB
+		Beta:            0.15,
+		Q:               0.5,
+	}
+	if err := cm.Validate(); err != nil {
+		return nil, err
+	}
+	res := &TableIResult{Model: cm}
+	add := func(mode, formula string, b energy.Breakdown) {
+		res.Rows = append(res.Rows, TableIRow{Mode: mode, Formula: formula, ComputeJ: b.ComputeJ, CommJ: b.CommJ})
+	}
+	add("Edge", "N·x", cm.EdgeOnly())
+	add("Cloud", "N·x_cu", cm.CloudOnly())
+	add("Edge-cloud (raw)", "N·x + β·N·x_cu", cm.EdgeCloudRaw())
+	add("Edge-cloud (features)", "N·(q·x) + β·N·x'_cu", cm.EdgeCloudFeatures())
+	return res, nil
+}
+
+// String renders the table.
+func (r *TableIResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table I — cost estimation (N=%d, β=%.2f, q=%.2f, x=%.2f mJ, x_cu=%.2f mJ)\n",
+		r.Model.N, r.Model.Beta, r.Model.Q, 1000*r.Model.EdgeComputeJ, 1000*r.Model.UploadRawJ)
+	w := tabwriter.NewWriter(&sb, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "mode\tedge compute formula\tcompute (J)\tcomm (J)\ttotal (J)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%s\t%.1f\t%.1f\t%.1f\n", row.Mode, row.Formula, row.ComputeJ, row.CommJ, row.ComputeJ+row.CommJ)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// TableIIRow is one model row: hard-class accuracy before/after adaptation.
+type TableIIRow struct {
+	Key       SystemKey
+	TrainMain float64
+	TrainMEA  float64
+	TestMain  float64
+	TestMEA   float64
+}
+
+// TableIIResult is the hard-class accuracy table.
+type TableIIResult struct {
+	Rows []TableIIRow
+}
+
+// TableII evaluates hard-class accuracy (main exit vs MEANet with the
+// extension path always active) on train and test splits for all four
+// systems.
+func TableII(ctx *Context) (*TableIIResult, error) {
+	res := &TableIIResult{}
+	for _, key := range AllSystems() {
+		sys, err := ctx.System(key)
+		if err != nil {
+			return nil, err
+		}
+		trMain, trMEA, err := core.HardSubsetAccuracy(sys.Edge, sys.Train, 64)
+		if err != nil {
+			return nil, err
+		}
+		teMain, teMEA, err := core.HardSubsetAccuracy(sys.Edge, sys.Synth.Test, 64)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, TableIIRow{
+			Key: key, TrainMain: trMain, TrainMEA: trMEA, TestMain: teMain, TestMEA: teMEA,
+		})
+	}
+	return res, nil
+}
+
+// String renders the table.
+func (r *TableIIResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Table II — accuracy of hard classes (%)\n")
+	w := tabwriter.NewWriter(&sb, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "system\ttrain main\ttrain MEANet\ttest main\ttest MEANet")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			row.Key, 100*row.TrainMain, 100*row.TrainMEA, 100*row.TestMain, 100*row.TestMEA)
+	}
+	w.Flush()
+	sb.WriteString("paper shape: MEANet beats main on hard classes by ≈4-9 points (test)\n")
+	return sb.String()
+}
+
+// TableIIIRow is one model row: overall accuracy and detection accuracy.
+type TableIIIRow struct {
+	Key       SystemKey
+	Main      float64
+	MEANet    float64
+	Detection float64
+}
+
+// TableIIIResult is the all-classes test accuracy table.
+type TableIIIResult struct {
+	Rows []TableIIIRow
+}
+
+// TableIII evaluates the whole test set: main exit alone vs MEANet
+// (edge-only), plus easy/hard detection accuracy.
+func TableIII(ctx *Context) (*TableIIIResult, error) {
+	res := &TableIIIResult{}
+	for _, key := range AllSystems() {
+		sys, err := ctx.System(key)
+		if err != nil {
+			return nil, err
+		}
+		cm, _, err := core.EvaluateMain(sys.Edge, sys.Synth.Test, 64)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := core.Evaluate(sys.Edge, sys.Synth.Test, 64, core.Policy{UseCloud: false}, nil)
+		if err != nil {
+			return nil, err
+		}
+		det, err := core.DetectionAccuracy(sys.Edge, sys.Synth.Test, 64)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, TableIIIRow{
+			Key: key, Main: cm.Accuracy(), MEANet: rep.Overall, Detection: det,
+		})
+	}
+	return res, nil
+}
+
+// String renders the table.
+func (r *TableIIIResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Table III — test accuracy of all classes (%)\n")
+	w := tabwriter.NewWriter(&sb, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "system\tmain\tMEANet\teasy/hard detection")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\n",
+			row.Key, 100*row.Main, 100*row.MEANet, 100*row.Detection)
+	}
+	w.Flush()
+	sb.WriteString("paper shape: MEANet ≥ main overall; detection ≈83-91%\n")
+	return sb.String()
+}
+
+// TableIVRow is one selection strategy with its detection accuracy.
+type TableIVRow struct {
+	Selection string
+	Detection float64
+}
+
+// TableIVResult compares detection accuracy across class selections.
+type TableIVResult struct {
+	Rows []TableIVRow
+}
+
+// TableIV compares easy/hard detection accuracy for FDR-based selection of
+// half the classes, random selection of half, and FDR-based selection of
+// 70% — the paper's CIFAR-100 ablation. Detection depends only on the main
+// block and the dictionary, so no retraining is needed.
+func TableIV(ctx *Context) (*TableIVResult, error) {
+	sys, err := ctx.System(C100A)
+	if err != nil {
+		return nil, err
+	}
+	classes := sys.Synth.Train.NumClasses
+	half := classes / 2
+	seventy := classes * 7 / 10
+	res := &TableIVResult{}
+	for _, sel := range []struct {
+		name string
+		dict func() (*core.ClassDict, error)
+	}{
+		{fmt.Sprintf("%d hard", half), func() (*core.ClassDict, error) {
+			return core.SelectHardClasses(sys.ValConfusion, half)
+		}},
+		{fmt.Sprintf("%d random", half), func() (*core.ClassDict, error) {
+			return core.SelectRandomClasses(newSeededRand(ctx.cfg.Seed+40), classes, half)
+		}},
+		{fmt.Sprintf("%d hard", seventy), func() (*core.ClassDict, error) {
+			return core.SelectHardClasses(sys.ValConfusion, seventy)
+		}},
+	} {
+		dict, err := sel.dict()
+		if err != nil {
+			return nil, err
+		}
+		probe, err := ctx.FreshEdgeWithPretrainedMain(sys, ctx.cfg.Seed+41)
+		if err != nil {
+			return nil, err
+		}
+		probe.Dict = dict
+		det, err := core.DetectionAccuracy(probe, sys.Synth.Test, 64)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, TableIVRow{Selection: sel.name, Detection: det})
+	}
+	return res, nil
+}
+
+// String renders the table.
+func (r *TableIVResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Table IV — detection accuracy of easy/hard classes (SynthC100)\n")
+	w := tabwriter.NewWriter(&sb, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "selected classes\tdetection accuracy")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%.2f%%\n", row.Selection, 100*row.Detection)
+	}
+	w.Flush()
+	sb.WriteString("paper shape: hard-selection > random; more classes → higher detection\n")
+	return sb.String()
+}
+
+// TableVRow is one selection strategy with accuracies over the selected
+// classes.
+type TableVRow struct {
+	Selection string
+	TrainMain float64
+	TrainMEA  float64
+	TestMain  float64
+	TestMEA   float64
+}
+
+// TableVResult is the class-selection effect table.
+type TableVResult struct {
+	Rows []TableVRow
+}
+
+// TableV retrains the edge blocks under different class selections on top of
+// the shared pretrained main block and evaluates accuracy over the selected
+// classes — the paper's Table V protocol on CIFAR-100 with ResNet32 A.
+func TableV(ctx *Context) (*TableVResult, error) {
+	sys, err := ctx.System(C100A)
+	if err != nil {
+		return nil, err
+	}
+	classes := sys.Synth.Train.NumClasses
+	half := classes / 2
+	seventy := classes * 7 / 10
+	all := make([]int, classes)
+	for i := range all {
+		all[i] = i
+	}
+	selections := []struct {
+		name string
+		dict func() (*core.ClassDict, error)
+	}{
+		{fmt.Sprintf("%d hard", half), func() (*core.ClassDict, error) {
+			return core.SelectHardClasses(sys.ValConfusion, half)
+		}},
+		{fmt.Sprintf("%d random", half), func() (*core.ClassDict, error) {
+			return core.SelectRandomClasses(newSeededRand(ctx.cfg.Seed+50), classes, half)
+		}},
+		{fmt.Sprintf("%d hard", seventy), func() (*core.ClassDict, error) {
+			return core.SelectHardClasses(sys.ValConfusion, seventy)
+		}},
+		{fmt.Sprintf("%d (all)", classes), func() (*core.ClassDict, error) {
+			return core.NewClassDict(all)
+		}},
+	}
+	res := &TableVResult{}
+	for i, sel := range selections {
+		dict, err := sel.dict()
+		if err != nil {
+			return nil, err
+		}
+		probe, err := ctx.FreshEdgeWithPretrainedMain(sys, ctx.cfg.Seed+60+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		probe.Dict = dict
+		edgeCfg := core.DefaultTrainConfig(ctx.cfg.EdgeEpochs, ctx.cfg.Seed+61+int64(i))
+		ctx.cfg.logf("[table V] adapting edge blocks for selection %q", sel.name)
+		if err := core.TrainEdgeBlocks(probe, sys.Train, edgeCfg); err != nil {
+			return nil, err
+		}
+		trMain, trMEA, err := core.HardSubsetAccuracy(probe, sys.Train, 64)
+		if err != nil {
+			return nil, err
+		}
+		teMain, teMEA, err := core.HardSubsetAccuracy(probe, sys.Synth.Test, 64)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, TableVRow{
+			Selection: sel.name, TrainMain: trMain, TrainMEA: trMEA, TestMain: teMain, TestMEA: teMEA,
+		})
+	}
+	return res, nil
+}
+
+// String renders the table.
+func (r *TableVResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Table V — effect of class selection on selected-class accuracy (SynthC100, model A)\n")
+	w := tabwriter.NewWriter(&sb, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "selected classes\ttrain main\ttrain MEANet\ttest main\ttest MEANet")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			row.Selection, 100*row.TrainMain, 100*row.TrainMEA, 100*row.TestMain, 100*row.TestMEA)
+	}
+	w.Flush()
+	sb.WriteString("paper shape: fewer selected classes → larger MEANet improvement\n")
+	return sb.String()
+}
+
+// TableVIRow decomposes one paper-scale model.
+type TableVIRow struct {
+	Name          string
+	FixedMMACs    float64
+	TrainedMMACs  float64
+	FixedMParams  float64
+	TrainedMParam float64
+}
+
+// TableVIResult is the computation/parameter decomposition table.
+type TableVIResult struct {
+	Rows []TableVIRow
+}
+
+// TableVI profiles the four paper-scale configurations, splitting MACs and
+// parameters into fixed (frozen during edge training) and trained parts.
+func TableVI(*Context) (*TableVIResult, error) {
+	pms, err := PaperScaleModels()
+	if err != nil {
+		return nil, err
+	}
+	res := &TableVIResult{}
+	for _, pm := range pms {
+		p, err := ProfilePaperModel(pm)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, TableVIRow{
+			Name:          pm.Name,
+			FixedMMACs:    float64(p.Fixed.MACs) / 1e6,
+			TrainedMMACs:  float64(p.Trained.MACs) / 1e6,
+			FixedMParams:  float64(p.Fixed.Params) / 1e6,
+			TrainedMParam: float64(p.Trained.Params) / 1e6,
+		})
+	}
+	return res, nil
+}
+
+// String renders the table.
+func (r *TableVIResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Table VI — number of computations and parameters (millions, paper-scale)\n")
+	w := tabwriter.NewWriter(&sb, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "model\tMACs fixed\tMACs trained\tparams fixed\tparams trained")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.2f\t%.2f\n",
+			row.Name, row.FixedMMACs, row.TrainedMMACs, row.FixedMParams, row.TrainedMParam)
+	}
+	w.Flush()
+	sb.WriteString("paper: 46/31 & 0.11/0.37 (R32A), 69/31 & 0.47/0.42 (R32B),\n")
+	sb.WriteString("       300/130 & 3.49/1.09 (MBv2), 1722/2058 & 11.16/27.46 (R18B)\n")
+	return sb.String()
+}
+
+// TableVIIRow is one per-image cost row.
+type TableVIIRow struct {
+	Name string
+	energy.PerImage
+}
+
+// TableVIIResult is the per-image power/time/energy table.
+type TableVIIResult struct {
+	Rows []TableVIIRow
+}
+
+// TableVII derives per-image computation and communication costs from the
+// calibrated compute models and paper-scale MAC profiles.
+func TableVII(*Context) (*TableVIIResult, error) {
+	pms, err := PaperScaleModels()
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]PaperModel, len(pms))
+	for _, pm := range pms {
+		byName[pm.Name] = pm
+	}
+	res := &TableVIIResult{}
+	for _, row := range []struct {
+		model   string
+		compute energy.ComputeModel
+		bytes   int64
+	}{
+		{"CIFAR-100, ResNet32 A", energy.EdgeGPUCIFAR(), energy.RawImageBytes(32, 32, 3)},
+		{"ImageNet, ResNet18 B", energy.EdgeGPUImageNet(), energy.RawImageBytes(224, 224, 3)},
+	} {
+		pm, ok := byName[row.model]
+		if !ok {
+			return nil, fmt.Errorf("experiments: paper model %q missing", row.model)
+		}
+		p, err := ProfilePaperModel(pm)
+		if err != nil {
+			return nil, err
+		}
+		macs := p.Fixed.MACs + p.Trained.MACs
+		res.Rows = append(res.Rows, TableVIIRow{
+			Name:     row.model,
+			PerImage: energy.TableVII(row.compute, energy.DefaultWiFi(), macs, row.bytes),
+		})
+	}
+	return res, nil
+}
+
+// String renders the table.
+func (r *TableVIIResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Table VII — per-image computation and communication cost at the edge\n")
+	w := tabwriter.NewWriter(&sb, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "model\tGPU (W)\tWiFi (W)\tt_cp (ms)\tt_cu (ms)\tE_cp (mJ)\tE_cu (mJ)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%.0f\t%.2f\t%.3f\t%.1f\t%.2f\t%.2f\n",
+			row.Name, row.GPUPowerW, row.UploadPowerW,
+			1000*row.ComputeTime.Seconds(), 1000*row.UploadTime.Seconds(),
+			1000*row.ComputeEnergyJ, 1000*row.UploadEnergyJ)
+	}
+	w.Flush()
+	sb.WriteString("paper: 56W/5.48W/0.056ms/1.3ms/3.14mJ/7.12mJ and 75W/5.48W/0.203ms/63.7ms/15.23mJ/349mJ\n")
+	return sb.String()
+}

@@ -1,0 +1,80 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/meanet/meanet/internal/nn"
+)
+
+// AdaptiveBlock builds the shallow raw-input branch of a MEANet: a
+// "light-weight version of the main block" (paper §III-A) with exactly one
+// conv+BN+ReLU stage per main-block group, matching that group's output
+// channels, stride and representative kernel size so the two feature maps
+// can be summed or concatenated. kernels may be nil (3×3 everywhere).
+func AdaptiveBlock(rng *rand.Rand, name string, inC int, channels, strides, kernels []int) (*nn.Sequential, error) {
+	if len(channels) == 0 || len(channels) != len(strides) {
+		return nil, fmt.Errorf("models: adaptive block needs matching channels/strides, got %d/%d",
+			len(channels), len(strides))
+	}
+	if kernels != nil && len(kernels) != len(channels) {
+		return nil, fmt.Errorf("models: adaptive block got %d kernels for %d stages", len(kernels), len(channels))
+	}
+	s := nn.NewSequential(name)
+	prev := inC
+	for i, c := range channels {
+		k := 3
+		if kernels != nil {
+			k = kernels[i]
+		}
+		if k < 1 || k%2 == 0 {
+			return nil, fmt.Errorf("models: adaptive block kernel %d must be odd and positive", k)
+		}
+		s.Append(
+			nn.NewConv2D(rng, fmt.Sprintf("%s.conv%d", name, i+1), prev, c, k, strides[i], k/2, false),
+			nn.NewBatchNorm2D(fmt.Sprintf("%s.bn%d", name, i+1), c),
+			nn.NewReLU(),
+		)
+		prev = c
+	}
+	return s, nil
+}
+
+// InvertedExtensionBlock builds a model-B extension block out of
+// inverted-residual bottlenecks, the natural extension for MobileNet main
+// blocks (the paper designs the MobileNetV2 extension as four residual
+// blocks; bottlenecks keep its parameter count in the published ballpark
+// despite the 1280-channel head).
+func InvertedExtensionBlock(rng *rand.Rand, name string, inC, outC, blocks, expand int) (*nn.Sequential, error) {
+	if blocks < 1 {
+		return nil, fmt.Errorf("models: extension block needs ≥1 block, got %d", blocks)
+	}
+	if expand < 1 {
+		return nil, fmt.Errorf("models: expansion ratio must be ≥1, got %d", expand)
+	}
+	s := nn.NewSequential(name)
+	prev := inC
+	for i := 0; i < blocks; i++ {
+		s.Append(nn.NewInvertedResidual(rng, fmt.Sprintf("%s.block%d", name, i+1), prev, outC, 1, expand))
+		prev = outC
+	}
+	return s, nil
+}
+
+// ExtensionBlock builds the extra residual group a model-B MEANet appends
+// after the (complete) main network: `blocks` residual blocks at the main
+// block's feature width (Fig 4B adds "1 layer" stages; we keep them residual
+// for trainability). When concat combination is used, inC is twice the
+// feature width.
+func ExtensionBlock(rng *rand.Rand, name string, inC, outC, blocks int) (*nn.Sequential, error) {
+	if blocks < 1 {
+		return nil, fmt.Errorf("models: extension block needs ≥1 block, got %d", blocks)
+	}
+	s := nn.NewSequential(name)
+	prev := inC
+	for i := 0; i < blocks; i++ {
+		s.Append(nn.NewResidualBlock(rng, fmt.Sprintf("%s.block%d", name, i+1), prev, outC, 1))
+		prev = outC
+	}
+	return s, nil
+}

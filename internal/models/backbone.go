@@ -1,0 +1,132 @@
+// Package models provides the CNN backbones the paper builds MEANets from —
+// ResNet-style (basic residual blocks in resolution groups) and
+// MobileNetV2-style (inverted residual bottlenecks) — structured as explicit
+// stages so they can be split into MEANet main/extension blocks, together
+// with scaled training specs, paper-scale profiling specs, and binary weight
+// serialization.
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/meanet/meanet/internal/nn"
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+// Backbone is a feature extractor decomposed into a stem and resolution
+// groups. MEANet splitting operates at group granularity.
+type Backbone struct {
+	Name        string
+	Stem        *nn.Sequential
+	Groups      []*nn.Sequential
+	GroupOutC   []int // output channels after each group
+	GroupStride []int // total stride introduced by each group
+	GroupKernel []int // representative conv kernel of each group (mirrored by adaptive blocks)
+	StemStride  int
+	InChannels  int
+}
+
+// FeatureChannels reports the channel count after the last group.
+func (b *Backbone) FeatureChannels() int {
+	if len(b.GroupOutC) == 0 {
+		return 0
+	}
+	return b.GroupOutC[len(b.GroupOutC)-1]
+}
+
+// Forward runs the stem and all groups.
+func (b *Backbone) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	x = b.Stem.Forward(x, train)
+	for _, g := range b.Groups {
+		x = g.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs the backbone's backward pass in reverse order.
+func (b *Backbone) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	for i := len(b.Groups) - 1; i >= 0; i-- {
+		dy = b.Groups[i].Backward(dy)
+	}
+	return b.Stem.Backward(dy)
+}
+
+// Params returns all backbone parameters.
+func (b *Backbone) Params() []*nn.Param {
+	out := b.Stem.Params()
+	for _, g := range b.Groups {
+		out = append(out, g.Params()...)
+	}
+	return out
+}
+
+// AsSequential flattens the backbone into one Sequential (stem then groups).
+func (b *Backbone) AsSequential() *nn.Sequential {
+	s := nn.NewSequential(b.Name)
+	s.Append(b.Stem)
+	for _, g := range b.Groups {
+		s.Append(g)
+	}
+	return s
+}
+
+// SplitAt partitions the backbone after `groups` groups: the first part is
+// stem+groups[:groups], the second is groups[groups:]. This is how a model-A
+// MEANet carves main and extension blocks out of one network (Fig 4A).
+func (b *Backbone) SplitAt(groups int) (front, back *nn.Sequential, frontOutC int, err error) {
+	if groups < 1 || groups >= len(b.Groups) {
+		return nil, nil, 0, fmt.Errorf("models: split point %d out of range (1..%d)", groups, len(b.Groups)-1)
+	}
+	front = nn.NewSequential(b.Name + ".front")
+	front.Append(b.Stem)
+	for _, g := range b.Groups[:groups] {
+		front.Append(g)
+	}
+	back = nn.NewSequential(b.Name + ".back")
+	for _, g := range b.Groups[groups:] {
+		back.Append(g)
+	}
+	return front, back, b.GroupOutC[groups-1], nil
+}
+
+var _ nn.Layer = (*Backbone)(nil)
+
+// NewExit builds a classifier exit: global average pooling followed by a
+// fully-connected layer, as attached to each MEANet block.
+func NewExit(rng *rand.Rand, name string, inC, classes int) *nn.Sequential {
+	return nn.NewSequential(name,
+		nn.NewGlobalAvgPool(),
+		nn.NewLinear(rng, name+".fc", inC, classes),
+	)
+}
+
+// Classifier pairs a backbone with an exit, forming a complete CNN such as
+// the cloud AI.
+type Classifier struct {
+	Backbone *Backbone
+	Exit     *nn.Sequential
+}
+
+// NewClassifier attaches a fresh exit for the given class count.
+func NewClassifier(rng *rand.Rand, b *Backbone, classes int) *Classifier {
+	return &Classifier{
+		Backbone: b,
+		Exit:     NewExit(rng, b.Name+".exit", b.FeatureChannels(), classes),
+	}
+}
+
+// Logits runs the full network.
+func (c *Classifier) Logits(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return c.Exit.Forward(c.Backbone.Forward(x, train), train)
+}
+
+// Backward propagates through exit then backbone.
+func (c *Classifier) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	return c.Backbone.Backward(c.Exit.Backward(dy))
+}
+
+// Params returns all parameters.
+func (c *Classifier) Params() []*nn.Param {
+	return append(c.Backbone.Params(), c.Exit.Params()...)
+}

@@ -1,0 +1,134 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/meanet/meanet/internal/nn"
+)
+
+// InvertedSetting is one MobileNetV2 stage: `Blocks` inverted-residual
+// bottlenecks with expansion `Expand` producing `Channels` maps, the first
+// block applying `Stride`.
+type InvertedSetting struct {
+	Expand   int
+	Channels int
+	Blocks   int
+	Stride   int
+}
+
+// MobileNetSpec describes a MobileNetV2-style backbone.
+type MobileNetSpec struct {
+	Name         string
+	InChannels   int
+	StemChannels int
+	StemStride   int // stem conv stride; 0 means 1
+	Settings     []InvertedSetting
+	HeadChannels int // final 1x1 conv width; 0 disables the head conv
+}
+
+// Validate reports structural errors.
+func (s MobileNetSpec) Validate() error {
+	if len(s.Settings) == 0 {
+		return fmt.Errorf("models: mobilenet %q has no stages", s.Name)
+	}
+	for i, st := range s.Settings {
+		if st.Expand < 1 || st.Channels < 1 || st.Blocks < 1 || st.Stride < 1 {
+			return fmt.Errorf("models: mobilenet %q stage %d invalid: %+v", s.Name, i, st)
+		}
+	}
+	if s.InChannels < 1 || s.StemChannels < 1 {
+		return fmt.Errorf("models: mobilenet %q: bad stem %d→%d", s.Name, s.InChannels, s.StemChannels)
+	}
+	return nil
+}
+
+// BuildMobileNet constructs the backbone described by the spec. Each stage
+// becomes one group, so MEANet splitting works at stage granularity; the
+// optional head conv becomes a final group of its own.
+func BuildMobileNet(rng *rand.Rand, spec MobileNetSpec) (*Backbone, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	stemStride := spec.StemStride
+	if stemStride < 1 {
+		stemStride = 1
+	}
+	stem := nn.NewSequential(spec.Name+".stem",
+		nn.NewConv2D(rng, spec.Name+".stem.conv", spec.InChannels, spec.StemChannels, 3, stemStride, 1, false),
+		nn.NewBatchNorm2D(spec.Name+".stem.bn", spec.StemChannels),
+		nn.NewReLU6(),
+	)
+	b := &Backbone{
+		Name:       spec.Name,
+		Stem:       stem,
+		StemStride: stemStride,
+		InChannels: spec.InChannels,
+	}
+	inC := spec.StemChannels
+	for g, st := range spec.Settings {
+		group := nn.NewSequential(fmt.Sprintf("%s.stage%d", spec.Name, g+1))
+		for blk := 0; blk < st.Blocks; blk++ {
+			s := 1
+			if blk == 0 {
+				s = st.Stride
+			}
+			group.Append(nn.NewInvertedResidual(rng, fmt.Sprintf("%s.stage%d.block%d", spec.Name, g+1, blk+1), inC, st.Channels, s, st.Expand))
+			inC = st.Channels
+		}
+		b.Groups = append(b.Groups, group)
+		b.GroupOutC = append(b.GroupOutC, st.Channels)
+		b.GroupStride = append(b.GroupStride, st.Stride)
+		b.GroupKernel = append(b.GroupKernel, 3)
+	}
+	if spec.HeadChannels > 0 {
+		head := nn.NewSequential(spec.Name+".head",
+			nn.NewConv2D(rng, spec.Name+".head.conv", inC, spec.HeadChannels, 1, 1, 0, false),
+			nn.NewBatchNorm2D(spec.Name+".head.bn", spec.HeadChannels),
+			nn.NewReLU6(),
+		)
+		b.Groups = append(b.Groups, head)
+		b.GroupOutC = append(b.GroupOutC, spec.HeadChannels)
+		b.GroupStride = append(b.GroupStride, 1)
+		b.GroupKernel = append(b.GroupKernel, 1) // the head conv is pointwise
+	}
+	return b, nil
+}
+
+// MobileNetEdge is the scaled stand-in for MobileNetV2 used with the
+// synthetic ImageNet preset.
+func MobileNetEdge() MobileNetSpec {
+	return MobileNetSpec{
+		Name:         "mobilenet-edge",
+		InChannels:   3,
+		StemChannels: 8,
+		Settings: []InvertedSetting{
+			{Expand: 1, Channels: 8, Blocks: 1, Stride: 1},
+			{Expand: 4, Channels: 12, Blocks: 2, Stride: 2},
+			{Expand: 4, Channels: 24, Blocks: 2, Stride: 2},
+			{Expand: 4, Channels: 40, Blocks: 2, Stride: 2},
+		},
+		HeadChannels: 64,
+	}
+}
+
+// MobileNetV2Paper is the standard MobileNetV2 (width 1.0) stage table,
+// used for paper-scale profiling only.
+func MobileNetV2Paper() MobileNetSpec {
+	return MobileNetSpec{
+		Name:         "mobilenetv2",
+		InChannels:   3,
+		StemChannels: 32,
+		StemStride:   2,
+		Settings: []InvertedSetting{
+			{Expand: 1, Channels: 16, Blocks: 1, Stride: 1},
+			{Expand: 6, Channels: 24, Blocks: 2, Stride: 2},
+			{Expand: 6, Channels: 32, Blocks: 3, Stride: 2},
+			{Expand: 6, Channels: 64, Blocks: 4, Stride: 2},
+			{Expand: 6, Channels: 96, Blocks: 3, Stride: 1},
+			{Expand: 6, Channels: 160, Blocks: 3, Stride: 2},
+			{Expand: 6, Channels: 320, Blocks: 1, Stride: 1},
+		},
+		HeadChannels: 1280,
+	}
+}

@@ -1,0 +1,165 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/meanet/meanet/internal/nn"
+)
+
+// ResNetSpec describes a ResNet-style backbone: a conv stem followed by
+// groups of basic residual blocks, each group possibly halving resolution.
+type ResNetSpec struct {
+	Name         string
+	InChannels   int
+	StemChannels int
+	StemStride   int   // stem conv stride; 0 means 1. Paper-scale ImageNet specs use >1 to stand in for the 7×7-s2-conv + maxpool stem.
+	Channels     []int // output channels per group
+	Blocks       []int // residual blocks per group
+	Strides      []int // stride of the first block of each group
+}
+
+// Validate reports structural errors.
+func (s ResNetSpec) Validate() error {
+	if len(s.Channels) == 0 || len(s.Channels) != len(s.Blocks) || len(s.Channels) != len(s.Strides) {
+		return fmt.Errorf("models: resnet %q: channels/blocks/strides lengths %d/%d/%d must match and be ≥1",
+			s.Name, len(s.Channels), len(s.Blocks), len(s.Strides))
+	}
+	for i, b := range s.Blocks {
+		if b < 1 {
+			return fmt.Errorf("models: resnet %q: group %d has %d blocks", s.Name, i, b)
+		}
+	}
+	if s.InChannels < 1 || s.StemChannels < 1 {
+		return fmt.Errorf("models: resnet %q: bad stem %d→%d", s.Name, s.InChannels, s.StemChannels)
+	}
+	return nil
+}
+
+// BuildResNet constructs the backbone described by the spec.
+func BuildResNet(rng *rand.Rand, spec ResNetSpec) (*Backbone, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	stemStride := spec.StemStride
+	if stemStride < 1 {
+		stemStride = 1
+	}
+	stem := nn.NewSequential(spec.Name+".stem",
+		nn.NewConv2D(rng, spec.Name+".stem.conv", spec.InChannels, spec.StemChannels, 3, stemStride, 1, false),
+		nn.NewBatchNorm2D(spec.Name+".stem.bn", spec.StemChannels),
+		nn.NewReLU(),
+	)
+	b := &Backbone{
+		Name:       spec.Name,
+		Stem:       stem,
+		StemStride: stemStride,
+		InChannels: spec.InChannels,
+	}
+	inC := spec.StemChannels
+	for g, outC := range spec.Channels {
+		group := nn.NewSequential(fmt.Sprintf("%s.group%d", spec.Name, g+1))
+		stride := spec.Strides[g]
+		for blk := 0; blk < spec.Blocks[g]; blk++ {
+			s := 1
+			if blk == 0 {
+				s = stride
+			}
+			group.Append(nn.NewResidualBlock(rng, fmt.Sprintf("%s.group%d.block%d", spec.Name, g+1, blk+1), inC, outC, s))
+			inC = outC
+		}
+		b.Groups = append(b.Groups, group)
+		b.GroupOutC = append(b.GroupOutC, outC)
+		b.GroupStride = append(b.GroupStride, stride)
+		b.GroupKernel = append(b.GroupKernel, 3)
+	}
+	return b, nil
+}
+
+// ResNetEdgeC100 is the scaled stand-in for the paper's CIFAR ResNet32
+// (16/32/64 channels, 3 groups): same 3-group topology at half width and
+// reduced depth so it trains on CPU. depth selects blocks per group.
+func ResNetEdgeC100(depth int) ResNetSpec {
+	if depth < 1 {
+		depth = 1
+	}
+	return ResNetSpec{
+		Name:         "resnet-edge-c100",
+		InChannels:   3,
+		StemChannels: 8,
+		Channels:     []int{8, 16, 32},
+		Blocks:       []int{depth, depth, depth},
+		Strides:      []int{1, 2, 2},
+	}
+}
+
+// ResNetEdgeImageNet is the scaled stand-in for ResNet18 (4 groups,
+// 64/128/256/512) at reduced width for the synthetic ImageNet preset.
+func ResNetEdgeImageNet(depth int) ResNetSpec {
+	if depth < 1 {
+		depth = 1
+	}
+	return ResNetSpec{
+		Name:         "resnet-edge-imagenet",
+		InChannels:   3,
+		StemChannels: 8,
+		Channels:     []int{8, 16, 32, 64},
+		Blocks:       []int{depth, depth, depth, depth},
+		Strides:      []int{1, 2, 2, 2},
+	}
+}
+
+// ResNetCloud is the deeper/wider cloud AI used in place of the paper's
+// ResNet101: same family, roughly 3× the edge model's depth and 2× width,
+// which preserves the relative accuracy ordering cloud > edge.
+func ResNetCloud(groups int) ResNetSpec {
+	channels := []int{16, 32, 64}
+	blocks := []int{3, 3, 3}
+	strides := []int{1, 2, 2}
+	if groups == 4 {
+		channels = []int{16, 32, 64, 128}
+		blocks = []int{2, 3, 3, 2}
+		strides = []int{1, 2, 2, 2}
+	}
+	return ResNetSpec{
+		Name:         "resnet-cloud",
+		InChannels:   3,
+		StemChannels: 16,
+		Channels:     channels,
+		Blocks:       blocks,
+		Strides:      strides,
+	}
+}
+
+// Paper-scale specs. These are never trained here — they exist so the
+// profiler can reproduce the paper's parameter/MAC/memory tables (Table VI,
+// Table VII, Fig 6) at the original model sizes.
+
+// ResNet32Paper is the CIFAR ResNet32: 5 basic blocks per group at
+// 16/32/64 channels (32 = 6n+2 layers with n=5).
+func ResNet32Paper() ResNetSpec {
+	return ResNetSpec{
+		Name:         "resnet32",
+		InChannels:   3,
+		StemChannels: 16,
+		Channels:     []int{16, 32, 64},
+		Blocks:       []int{5, 5, 5},
+		Strides:      []int{1, 2, 2},
+	}
+}
+
+// ResNet18Paper is the ImageNet ResNet18: 2 basic blocks per group at
+// 64/128/256/512 channels. The 7x7-stride-2 stem plus 3x3 max pool of the
+// original is approximated by a stride-4 effective stem for MAC purposes
+// via PaperInputSize.
+func ResNet18Paper() ResNetSpec {
+	return ResNetSpec{
+		Name:         "resnet18",
+		InChannels:   3,
+		StemChannels: 64,
+		StemStride:   4, // stands in for the 7×7-stride-2 conv + 3×3-stride-2 pool
+		Channels:     []int{64, 128, 256, 512},
+		Blocks:       []int{2, 2, 2, 2},
+		Strides:      []int{1, 2, 2, 2},
+	}
+}

@@ -1,0 +1,136 @@
+// Package netsim provides network-condition simulation for the edge-cloud
+// transport: an analytic link model for deterministic energy/latency
+// accounting, a net.Conn wrapper that shapes real TCP traffic (latency +
+// bandwidth), and fault-injecting wrappers for failure testing.
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Link describes a one-way network path.
+type Link struct {
+	Latency time.Duration // propagation delay applied per message
+	Mbps    float64       // serialization bandwidth; 0 = infinite
+}
+
+// TransferTime is the analytic time to move a payload across the link:
+// latency + bytes/bandwidth. It is used for deterministic simulation; the
+// shaped Conn below applies the same model to real sockets.
+func (l Link) TransferTime(bytes int64) time.Duration {
+	d := l.Latency
+	if l.Mbps > 0 && bytes > 0 {
+		seconds := float64(bytes*8) / (l.Mbps * 1e6)
+		d += time.Duration(seconds * float64(time.Second))
+	}
+	return d
+}
+
+// Validate reports configuration errors.
+func (l Link) Validate() error {
+	if l.Latency < 0 {
+		return fmt.Errorf("netsim: negative latency %v", l.Latency)
+	}
+	if l.Mbps < 0 {
+		return fmt.Errorf("netsim: negative bandwidth %v", l.Mbps)
+	}
+	return nil
+}
+
+// shapedConn delays writes according to a Link, emulating a slow uplink on a
+// real socket. Reads are untouched (the downlink result payloads are tiny).
+type shapedConn struct {
+	net.Conn
+	link Link
+
+	mu sync.Mutex // serializes the pacing of concurrent writers
+}
+
+// Shape wraps a connection so writes experience the link's latency and
+// bandwidth.
+func Shape(conn net.Conn, link Link) net.Conn {
+	if link.Latency == 0 && link.Mbps == 0 {
+		return conn
+	}
+	return &shapedConn{Conn: conn, link: link}
+}
+
+// Write paces the payload through the simulated link before forwarding it.
+func (c *shapedConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	delay := c.link.TransferTime(int64(len(p)))
+	c.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return c.Conn.Write(p)
+}
+
+// FaultMode selects how a faulty connection misbehaves.
+type FaultMode int
+
+// Fault modes.
+const (
+	// FailWrites makes Write return an error after the byte budget is spent.
+	FailWrites FaultMode = iota + 1
+	// CloseAbruptly closes the underlying connection after the byte budget,
+	// so the peer sees EOF / reset mid-stream.
+	CloseAbruptly
+)
+
+// faultConn injects transport failures after a configurable number of
+// written bytes — used to test the edge runtime's cloud-failure fallback.
+type faultConn struct {
+	net.Conn
+	mode FaultMode
+
+	mu      sync.Mutex
+	budget  int64
+	tripped bool
+}
+
+// InjectFault wraps a connection that misbehaves after budget written bytes.
+func InjectFault(conn net.Conn, mode FaultMode, budget int64) net.Conn {
+	return &faultConn{Conn: conn, mode: mode, budget: budget}
+}
+
+// Write forwards until the budget trips, then fails per the fault mode.
+func (c *faultConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.tripped {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("netsim: injected fault: connection broken")
+	}
+	c.budget -= int64(len(p))
+	trip := c.budget < 0
+	if trip {
+		c.tripped = true
+	}
+	c.mu.Unlock()
+	if trip {
+		if c.mode == CloseAbruptly {
+			_ = c.Conn.Close()
+			return 0, fmt.Errorf("netsim: injected fault: connection closed")
+		}
+		return 0, fmt.Errorf("netsim: injected fault: write failed")
+	}
+	return c.Conn.Write(p)
+}
+
+// ShapedListener wraps accepted connections with a link model.
+type ShapedListener struct {
+	net.Listener
+	Link Link
+}
+
+// Accept shapes every accepted connection.
+func (l *ShapedListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return Shape(conn, l.Link), nil
+}

@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// [N, classes] against integer labels, and the gradient of the loss with
+// respect to the logits ((softmax − onehot)/N), fused for numerical
+// stability.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	if logits.Dims() != 2 {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy expects [N, classes] logits, got %v", logits.Shape()))
+	}
+	n, k := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy got %d labels for %d rows", len(labels), n))
+	}
+	probs := tensor.Softmax(logits)
+	grad := tensor.New(n, k)
+	var loss float64
+	invN := 1.0 / float64(n)
+	for i := 0; i < n; i++ {
+		y := labels[i]
+		if y < 0 || y >= k {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, k))
+		}
+		row := probs.Row(i)
+		g := grad.Row(i)
+		for j, p := range row {
+			g[j] = p * float32(invN)
+		}
+		g[y] -= float32(invN)
+		p := float64(row[y])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+	}
+	return loss * invN, grad
+}
+
+// Accuracy reports the fraction of rows whose argmax equals the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	preds := logits.ArgMaxRows()
+	if len(preds) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(preds))
+}

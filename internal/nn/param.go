@@ -1,0 +1,69 @@
+// Package nn implements the neural-network layers, blocks and losses used to
+// build MEANets: convolutions (dense and depthwise), batch normalization,
+// activations, pooling, fully-connected layers, residual and
+// inverted-residual blocks, and a softmax-cross-entropy loss.
+//
+// Layers follow an explicit layer-wise backpropagation discipline rather than
+// a taped autograd graph: Forward(x, train=true) caches whatever Backward
+// needs; Forward(x, train=false) caches nothing and mutates no state, so
+// evaluation-mode forwards are safe to run concurrently (the cloud server
+// relies on this).
+package nn
+
+import "github.com/meanet/meanet/internal/tensor"
+
+// Param is a trainable tensor with its gradient accumulator. Frozen params
+// are skipped by optimizers and accumulate no gradient, which is how MEANet
+// fixes the pretrained main block during edge training (Algorithm 1 step 6).
+type Param struct {
+	Name    string
+	Data    *tensor.Tensor
+	Grad    *tensor.Tensor
+	Frozen  bool
+	NoDecay bool // true for biases and batch-norm affine params
+}
+
+// NewParam allocates a parameter with a zeroed gradient of matching shape.
+func NewParam(name string, data *tensor.Tensor) *Param {
+	return &Param{Name: name, Data: data, Grad: tensor.New(data.Shape()...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Numel reports the number of scalar parameters.
+func (p *Param) Numel() int { return p.Data.Numel() }
+
+// ZeroGrads clears the gradients of all given parameters.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// FreezeParams marks all given parameters frozen (excluded from updates).
+func FreezeParams(params []*Param) {
+	for _, p := range params {
+		p.Frozen = true
+	}
+}
+
+// UnfreezeParams clears the frozen flag on all given parameters.
+func UnfreezeParams(params []*Param) {
+	for _, p := range params {
+		p.Frozen = false
+	}
+}
+
+// CountParams returns the total scalar parameter count, and the subset that
+// is trainable (not frozen).
+func CountParams(params []*Param) (total, trainable int64) {
+	for _, p := range params {
+		n := int64(p.Numel())
+		total += n
+		if !p.Frozen {
+			trainable += n
+		}
+	}
+	return total, trainable
+}

@@ -1,0 +1,119 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/meanet/meanet/internal/nn"
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+func TestSGDPlainStep(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float32{1, 2}, 2))
+	p.Grad.Data()[0] = 0.5
+	p.Grad.Data()[1] = -1
+	s := NewSGD(0.1, 0, 0)
+	s.Step([]*nn.Param{p})
+	if math.Abs(float64(p.Data.Data()[0])-0.95) > 1e-6 {
+		t.Fatalf("w[0] = %v, want 0.95", p.Data.Data()[0])
+	}
+	if math.Abs(float64(p.Data.Data()[1])-2.1) > 1e-6 {
+		t.Fatalf("w[1] = %v, want 2.1", p.Data.Data()[1])
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float32{0}, 1))
+	s := NewSGD(1, 0.9, 0)
+	// Two steps with constant gradient 1: v1=1, w=-1; v2=1.9, w=-2.9.
+	p.Grad.Data()[0] = 1
+	s.Step([]*nn.Param{p})
+	p.Grad.Data()[0] = 1
+	s.Step([]*nn.Param{p})
+	if math.Abs(float64(p.Data.Data()[0])+2.9) > 1e-6 {
+		t.Fatalf("w = %v, want -2.9", p.Data.Data()[0])
+	}
+}
+
+func TestSGDWeightDecayPullsTowardZero(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float32{10}, 1))
+	s := NewSGD(0.1, 0, 0.5)
+	s.Step([]*nn.Param{p}) // grad 0, decay 0.5*10=5 → w = 10 - 0.5 = 9.5
+	if math.Abs(float64(p.Data.Data()[0])-9.5) > 1e-6 {
+		t.Fatalf("w = %v, want 9.5", p.Data.Data()[0])
+	}
+}
+
+func TestSGDNoDecayParamSkipsDecay(t *testing.T) {
+	p := nn.NewParam("bn.gamma", tensor.FromSlice([]float32{10}, 1))
+	p.NoDecay = true
+	s := NewSGD(0.1, 0, 0.5)
+	s.Step([]*nn.Param{p})
+	if p.Data.Data()[0] != 10 {
+		t.Fatalf("NoDecay param changed to %v", p.Data.Data()[0])
+	}
+}
+
+func TestSGDSkipsFrozenParams(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float32{1}, 1))
+	p.Frozen = true
+	p.Grad.Data()[0] = 100
+	s := NewSGD(0.1, 0.9, 0.1)
+	s.Step([]*nn.Param{p})
+	if p.Data.Data()[0] != 1 {
+		t.Fatalf("frozen param was updated to %v", p.Data.Data()[0])
+	}
+	if s.StateSize() != 0 {
+		t.Fatalf("frozen param allocated %d velocity entries", s.StateSize())
+	}
+}
+
+func TestStepLRSchedule(t *testing.T) {
+	sch := StepLR{Initial: 0.1, Milestones: []int{60, 120, 160}, Gamma: 0.1}
+	tests := []struct {
+		epoch int
+		want  float64
+	}{
+		{0, 0.1}, {59, 0.1}, {60, 0.01}, {119, 0.01}, {120, 0.001}, {160, 0.0001},
+	}
+	for _, tc := range tests {
+		if got := sch.At(tc.epoch); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("At(%d) = %v, want %v", tc.epoch, got, tc.want)
+		}
+	}
+}
+
+// TestSGDTrainsLinearModel is an end-to-end sanity check: a linear layer
+// plus softmax cross-entropy must fit a linearly separable toy problem.
+func TestSGDTrainsLinearModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l := nn.NewLinear(rng, "fc", 2, 2)
+	s := NewSGD(0.5, 0.9, 0)
+	n := 64
+	x := tensor.New(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		cx := float64(2*cls - 1) // class centers at ±1 on the first axis
+		x.Set(float32(cx+0.3*rng.NormFloat64()), i, 0)
+		x.Set(float32(0.3*rng.NormFloat64()), i, 1)
+		labels[i] = cls
+	}
+	var loss float64
+	for epoch := 0; epoch < 50; epoch++ {
+		nn.ZeroGrads(l.Params())
+		logits := l.Forward(x, true)
+		var grad *tensor.Tensor
+		loss, grad = nn.SoftmaxCrossEntropy(logits, labels)
+		l.Backward(grad)
+		s.Step(l.Params())
+	}
+	if loss > 0.1 {
+		t.Fatalf("final loss %v, want < 0.1", loss)
+	}
+	acc := nn.Accuracy(l.Forward(x, false), labels)
+	if acc < 0.95 {
+		t.Fatalf("train accuracy %v, want ≥ 0.95", acc)
+	}
+}

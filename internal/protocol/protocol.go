@@ -1,0 +1,183 @@
+// Package protocol defines the binary wire format between the edge runtime
+// and the cloud AI server: length-prefixed frames carrying either a raw
+// image, a feature tensor, a classification result, or an error. The paper's
+// two edge-cloud collaboration modes (§III-C: sending raw data or processed
+// features) map onto the two classify message types.
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+// MsgType discriminates frame payloads.
+type MsgType uint8
+
+// Message types.
+const (
+	MsgClassifyRaw  MsgType = iota + 1 // payload: image tensor [C,H,W]
+	MsgClassifyFeat                    // payload: feature tensor [C,H,W]
+	MsgResult                          // payload: int32 class + float32 confidence
+	MsgError                           // payload: UTF-8 error text
+	MsgPing                            // empty payload
+	MsgPong                            // empty payload
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgClassifyRaw:
+		return "classify-raw"
+	case MsgClassifyFeat:
+		return "classify-features"
+	case MsgResult:
+		return "result"
+	case MsgError:
+		return "error"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
+	default:
+		return fmt.Sprintf("msgtype(%d)", uint8(t))
+	}
+}
+
+const (
+	magic = "MEA1"
+	// MaxPayload bounds frame payloads; larger frames indicate corruption or
+	// abuse and are rejected before allocation.
+	MaxPayload = 64 << 20
+	headerLen  = 4 + 1 + 8 + 4 // magic + type + id + length
+)
+
+// Frame is one protocol message.
+type Frame struct {
+	Type    MsgType
+	ID      uint64
+	Payload []byte
+}
+
+// WriteFrame serializes a frame.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxPayload {
+		return fmt.Errorf("protocol: payload %d exceeds limit %d", len(f.Payload), MaxPayload)
+	}
+	hdr := make([]byte, headerLen)
+	copy(hdr, magic)
+	hdr[4] = byte(f.Type)
+	binary.LittleEndian.PutUint64(hdr[5:], f.ID)
+	binary.LittleEndian.PutUint32(hdr[13:], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("protocol: write header: %w", err)
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return fmt.Errorf("protocol: write payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame deserializes one frame, validating magic and payload bounds.
+func ReadFrame(r io.Reader) (Frame, error) {
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return Frame{}, fmt.Errorf("protocol: read header: %w", err)
+	}
+	if string(hdr[:4]) != magic {
+		return Frame{}, fmt.Errorf("protocol: bad magic %q", hdr[:4])
+	}
+	f := Frame{
+		Type: MsgType(hdr[4]),
+		ID:   binary.LittleEndian.Uint64(hdr[5:]),
+	}
+	n := binary.LittleEndian.Uint32(hdr[13:])
+	if n > MaxPayload {
+		return Frame{}, fmt.Errorf("protocol: payload %d exceeds limit %d", n, MaxPayload)
+	}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, fmt.Errorf("protocol: read payload: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// EncodeTensor serializes a tensor: uint8 rank, int32 dims, float32 data.
+func EncodeTensor(t *tensor.Tensor) []byte {
+	shape := t.Shape()
+	out := make([]byte, 1+4*len(shape)+4*t.Numel())
+	out[0] = byte(len(shape))
+	off := 1
+	for _, d := range shape {
+		binary.LittleEndian.PutUint32(out[off:], uint32(d))
+		off += 4
+	}
+	for _, v := range t.Data() {
+		binary.LittleEndian.PutUint32(out[off:], math.Float32bits(v))
+		off += 4
+	}
+	return out
+}
+
+// DecodeTensor reverses EncodeTensor, validating the payload exactly.
+func DecodeTensor(b []byte) (*tensor.Tensor, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("protocol: empty tensor payload")
+	}
+	rank := int(b[0])
+	if rank == 0 || rank > 8 {
+		return nil, fmt.Errorf("protocol: implausible tensor rank %d", rank)
+	}
+	if len(b) < 1+4*rank {
+		return nil, fmt.Errorf("protocol: truncated tensor header")
+	}
+	shape := make([]int, rank)
+	off := 1
+	elems := 1
+	for i := range shape {
+		d := int(binary.LittleEndian.Uint32(b[off:]))
+		if d <= 0 || d > MaxPayload {
+			return nil, fmt.Errorf("protocol: implausible dimension %d", d)
+		}
+		if elems > MaxPayload/d {
+			return nil, fmt.Errorf("protocol: tensor too large")
+		}
+		shape[i] = d
+		elems *= d
+		off += 4
+	}
+	if len(b) != off+4*elems {
+		return nil, fmt.Errorf("protocol: tensor payload length %d, want %d", len(b), off+4*elems)
+	}
+	data := make([]float32, elems)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+	}
+	return tensor.FromSlice(data, shape...), nil
+}
+
+// EncodeResult serializes a classification result.
+func EncodeResult(pred int32, conf float32) []byte {
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint32(out, uint32(pred))
+	binary.LittleEndian.PutUint32(out[4:], math.Float32bits(conf))
+	return out
+}
+
+// DecodeResult reverses EncodeResult.
+func DecodeResult(b []byte) (pred int32, conf float32, err error) {
+	if len(b) != 8 {
+		return 0, 0, fmt.Errorf("protocol: result payload length %d, want 8", len(b))
+	}
+	pred = int32(binary.LittleEndian.Uint32(b))
+	conf = math.Float32frombits(binary.LittleEndian.Uint32(b[4:]))
+	return pred, conf, nil
+}

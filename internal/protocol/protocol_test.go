@@ -1,0 +1,193 @@
+package protocol
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	tests := []Frame{
+		{Type: MsgPing, ID: 0},
+		{Type: MsgClassifyRaw, ID: 42, Payload: []byte{1, 2, 3}},
+		{Type: MsgResult, ID: 1 << 60, Payload: EncodeResult(7, 0.5)},
+		{Type: MsgError, ID: 9, Payload: []byte("boom")},
+	}
+	for _, f := range tests {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != f.Type || got.ID != f.ID || !bytes.Equal(got.Payload, f.Payload) {
+			t.Fatalf("round trip %+v → %+v", f, got)
+		}
+	}
+}
+
+func TestFrameStreamOrdering(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		if err := WriteFrame(&buf, Frame{Type: MsgPing, ID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		f, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.ID != uint64(i) {
+			t.Fatalf("frame %d out of order: id %d", i, f.ID)
+		}
+	}
+}
+
+func TestReadFrameRejectsBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: MsgPing}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[0] = 'X'
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadFrameRejectsOversizedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: MsgClassifyRaw, Payload: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Forge a giant length field.
+	raw[13], raw[14], raw[15], raw[16] = 0xff, 0xff, 0xff, 0xff
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: MsgClassifyRaw, Payload: make([]byte, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:40]
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestWriteFrameRejectsHugePayload(t *testing.T) {
+	f := Frame{Type: MsgClassifyRaw, Payload: make([]byte, MaxPayload+1)}
+	if err := WriteFrame(&bytes.Buffer{}, f); err == nil {
+		t.Fatal("huge payload accepted")
+	}
+}
+
+func TestTensorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := [][]int{{3}, {2, 3}, {3, 8, 8}, {1, 2, 3, 4}}
+	for _, shape := range shapes {
+		x := tensor.Randn(rng, 1, shape...)
+		dec, err := DecodeTensor(EncodeTensor(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.SameShape(x) {
+			t.Fatalf("shape %v → %v", x.Shape(), dec.Shape())
+		}
+		for i := range x.Data() {
+			if dec.Data()[i] != x.Data()[i] {
+				t.Fatal("tensor data corrupted in round trip")
+			}
+		}
+	}
+}
+
+func TestTensorRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rank := 1 + rng.Intn(4)
+		shape := make([]int, rank)
+		for i := range shape {
+			shape[i] = 1 + rng.Intn(5)
+		}
+		x := tensor.Randn(rng, 2, shape...)
+		dec, err := DecodeTensor(EncodeTensor(x))
+		if err != nil || !dec.SameShape(x) {
+			return false
+		}
+		for i := range x.Data() {
+			if dec.Data()[i] != x.Data()[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeTensorRejectsGarbage(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{},
+		{0},                      // rank 0
+		{9},                      // rank too large
+		{2, 1, 0, 0, 0},          // truncated dims
+		{1, 0, 0, 0, 0},          // zero dimension
+		{1, 2, 0, 0, 0, 1, 2, 3}, // wrong data length
+	}
+	for i, b := range bad {
+		if _, err := DecodeTensor(b); err == nil {
+			t.Fatalf("garbage %d accepted", i)
+		}
+	}
+}
+
+func TestDecodeTensorRejectsOverflowShape(t *testing.T) {
+	// rank 2 with dims ~65k × 65k → overflows MaxPayload bound.
+	b := []byte{2, 0xff, 0xff, 0, 0, 0xff, 0xff, 0, 0}
+	if _, err := DecodeTensor(b); err == nil {
+		t.Fatal("overflowing shape accepted")
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	pred, conf, err := DecodeResult(EncodeResult(13, 0.875))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 13 || conf != 0.875 {
+		t.Fatalf("result round trip gave %d/%v", pred, conf)
+	}
+	if _, _, err := DecodeResult([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short result accepted")
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	names := map[MsgType]string{
+		MsgClassifyRaw:  "classify-raw",
+		MsgClassifyFeat: "classify-features",
+		MsgResult:       "result",
+		MsgError:        "error",
+		MsgPing:         "ping",
+		MsgPong:         "pong",
+		MsgType(99):     "msgtype(99)",
+	}
+	for ty, want := range names {
+		if got := ty.String(); got != want {
+			t.Fatalf("MsgType(%d).String() = %q, want %q", ty, got, want)
+		}
+	}
+}

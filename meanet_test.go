@@ -1,0 +1,89 @@
+package meanet_test
+
+import (
+	"math/rand"
+	"testing"
+
+	meanet "github.com/meanet/meanet"
+)
+
+// TestPublicAPIPipeline exercises the facade exactly the way a downstream
+// user would: generate data, build a MEANet, run the distributed training
+// pipeline, and infer with a cloud fallback.
+func TestPublicAPIPipeline(t *testing.T) {
+	synth, err := meanet.Generate(meanet.SynthConfig{
+		Classes: 6, Groups: 1, GroupSize: 3,
+		ImgSize: 8, Channels: 2,
+		TrainPerClass: 25, TestPerClass: 10,
+		GroupSpread: 0.5, NoiseBase: 0.3, NoiseTail: 0.4, Jitter: 1,
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	backbone, err := meanet.BuildResNet(rng, meanet.ResNetSpec{
+		Name: "api-test", InChannels: 2, StemChannels: 4,
+		Channels: []int{4, 8}, Blocks: []int{1, 1}, Strides: []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := meanet.BuildMEANetA(rng, backbone, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := meanet.DefaultTrainConfig(6, 5)
+	cfg.Batch = 16
+	cfg.LR.Initial = 0.05
+	res, err := meanet.TrainDistributed(m, synth.Train, 3, 0.15, cfg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.HardClasses) != 3 {
+		t.Fatalf("selected %d hard classes, want 3", len(res.HardClasses))
+	}
+
+	rep, err := meanet.Evaluate(m, synth.Test, 16, meanet.Policy{UseCloud: false}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overall <= 1.0/6 {
+		t.Fatalf("edge-only accuracy %.3f not better than chance", rep.Overall)
+	}
+	if rep.ExitCounts[meanet.ExitExtension] == 0 {
+		t.Fatal("no instance took the extension path")
+	}
+}
+
+func TestTrainDistributedValidation(t *testing.T) {
+	synth, err := meanet.Generate(meanet.SynthConfig{
+		Classes: 4, Groups: 1, GroupSize: 2,
+		ImgSize: 8, Channels: 1,
+		TrainPerClass: 10, TestPerClass: 5,
+		GroupSpread: 0.5, NoiseBase: 0.3, NoiseTail: 0.3,
+		Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	backbone, err := meanet.BuildResNet(rng, meanet.ResNetSpec{
+		Name: "api-val", InChannels: 1, StemChannels: 4,
+		Channels: []int{4, 8}, Blocks: []int{1, 1}, Strides: []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := meanet.BuildMEANetA(rng, backbone, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := meanet.DefaultTrainConfig(1, 6)
+	if _, err := meanet.TrainDistributed(m, synth.Train, 2, 0, cfg, cfg); err == nil {
+		t.Fatal("zero validation fraction accepted")
+	}
+	if _, err := meanet.TrainDistributed(m, synth.Train, 2, 1.5, cfg, cfg); err == nil {
+		t.Fatal("out-of-range validation fraction accepted")
+	}
+}
