@@ -236,16 +236,22 @@ func BenchmarkAblationOptimization(b *testing.B) {
 
 // --- Micro-benchmarks of the hot paths ---
 
-func BenchmarkMatMul128(b *testing.B) {
+func benchmarkMatMul(b *testing.B, size int) {
 	rng := rand.New(rand.NewSource(1))
-	x := tensor.Randn(rng, 1, 128, 128)
-	y := tensor.Randn(rng, 1, 128, 128)
+	x := tensor.Randn(rng, 1, size, size)
+	y := tensor.Randn(rng, 1, size, size)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.MatMul(x, y)
 	}
-	b.SetBytes(int64(128 * 128 * 4))
+	b.SetBytes(int64(size * size * 4))
+	flops := 2 * float64(size) * float64(size) * float64(size)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
 }
+
+func BenchmarkMatMul128(b *testing.B) { benchmarkMatMul(b, 128) }
+
+func BenchmarkMatMul512(b *testing.B) { benchmarkMatMul(b, 512) }
 
 func BenchmarkConv2DForward(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))

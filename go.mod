@@ -1,0 +1,3 @@
+module github.com/meanet/meanet
+
+go 1.22

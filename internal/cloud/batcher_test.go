@@ -1,0 +1,183 @@
+package cloud
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+// stubInfer builds a deterministic "model" for collector tests: sample i's
+// logits put all mass on class int(x[i][0]) so every requester can verify it
+// got its own row back, not a neighbour's.
+func stubInfer(classes int) func(*tensor.Tensor) *tensor.Tensor {
+	return func(x *tensor.Tensor) *tensor.Tensor {
+		n := x.Dim(0)
+		out := tensor.New(n, classes)
+		for i := 0; i < n; i++ {
+			out.Set(10, i, int(x.Sample(i).Data()[0])%classes)
+		}
+		return out
+	}
+}
+
+// img returns a CHW image whose first element is v.
+func img(v float32, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	t.Data()[0] = v
+	return t
+}
+
+func TestBatcherCoalescesConcurrentRequests(t *testing.T) {
+	b := newBatcher(BatchConfig{MaxBatch: 4, Linger: 200 * time.Millisecond}, stubInfer(8))
+	defer b.close()
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for j := 0; j < n; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			pred, conf, err := b.classify(img(float32(j), 1, 2, 2))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if int(pred) != j {
+				t.Errorf("request %d got prediction %d", j, pred)
+			}
+			if conf <= 0 || conf > 1 {
+				t.Errorf("request %d got confidence %v", j, conf)
+			}
+		}(j)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := b.batchedReqs.Load(); got != n {
+		t.Fatalf("batched %d requests, want %d", got, n)
+	}
+	// 8 requests with MaxBatch 4 need at least two forwards; coalescing
+	// must produce far fewer than one forward per request.
+	if got := b.batches.Load(); got < 2 || got >= n {
+		t.Fatalf("ran %d batches for %d requests with MaxBatch 4", got, n)
+	}
+}
+
+func TestBatcherLingerFlushesPartialBatch(t *testing.T) {
+	b := newBatcher(BatchConfig{MaxBatch: 64, Linger: 30 * time.Millisecond}, stubInfer(4))
+	defer b.close()
+	start := time.Now()
+	pred, _, err := b.classify(img(2, 1, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 2 {
+		t.Fatalf("prediction %d, want 2", pred)
+	}
+	// A single request must not wait for 63 peers that never come: the
+	// linger timer bounds its latency.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("single request took %v despite 30ms linger", elapsed)
+	}
+	if b.batches.Load() != 1 || b.batchedReqs.Load() != 1 {
+		t.Fatalf("stats %d/%d, want 1/1", b.batches.Load(), b.batchedReqs.Load())
+	}
+}
+
+func TestBatcherErrorFanOut(t *testing.T) {
+	b := newBatcher(BatchConfig{MaxBatch: 8, Linger: 100 * time.Millisecond}, func(*tensor.Tensor) *tensor.Tensor {
+		panic("model exploded")
+	})
+	defer b.close()
+	const n = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for j := 0; j < n; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := b.classify(img(1, 1, 2, 2))
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err == nil {
+			t.Fatal("request in a failed batch returned no error")
+		}
+		if !strings.Contains(err.Error(), "model exploded") {
+			t.Fatalf("error does not carry the cause: %v", err)
+		}
+	}
+	if b.batches.Load() != 0 {
+		t.Fatalf("failed forwards counted as batches: %d", b.batches.Load())
+	}
+}
+
+func TestBatcherGroupsByShape(t *testing.T) {
+	// The stub stacks the batch as [N, first-shape...]: if the collector
+	// ever mixed shapes, Sample would misalign and predictions would be
+	// wrong (or the stack would panic). Two shapes, interleaved requests.
+	b := newBatcher(BatchConfig{MaxBatch: 16, Linger: 50 * time.Millisecond}, stubInfer(8))
+	defer b.close()
+	var wg sync.WaitGroup
+	for j := 0; j < 8; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			shape := []int{1, 2, 2}
+			if j%2 == 1 {
+				shape = []int{2, 3, 3}
+			}
+			pred, _, err := b.classify(img(float32(j), shape...))
+			if err != nil {
+				t.Errorf("request %d: %v", j, err)
+				return
+			}
+			if int(pred) != j {
+				t.Errorf("request %d (shape %v) got prediction %d", j, shape, pred)
+			}
+		}(j)
+	}
+	wg.Wait()
+	if got := b.batchedReqs.Load(); got != 8 {
+		t.Fatalf("batched %d requests, want 8", got)
+	}
+}
+
+func TestBatcherCloseUnblocksWaiters(t *testing.T) {
+	release := make(chan struct{})
+	b := newBatcher(BatchConfig{MaxBatch: 4, Linger: time.Millisecond}, func(x *tensor.Tensor) *tensor.Tensor {
+		<-release // hold the forward so waiters are parked
+		return tensor.New(x.Dim(0), 2)
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := b.classify(img(0, 1, 2, 2))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the request reach the collector
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release) // collector finishes its forward, then sees done
+	}()
+	b.close()
+	select {
+	case err := <-done:
+		// Either outcome is legal — the request was served just before
+		// close, or it was cut off — but it must not hang.
+		_ = err
+	case <-time.After(5 * time.Second):
+		t.Fatal("classify still blocked after batcher close")
+	}
+	// Requests after close fail fast.
+	if _, _, err := b.classify(img(0, 1, 2, 2)); err == nil {
+		t.Fatal("classify succeeded on a closed batcher")
+	}
+}

@@ -42,12 +42,18 @@ type Stats struct {
 	BytesOut    uint64
 	ActiveConns int64
 	TotalConns  uint64
+	// Batches and BatchedRequests report micro-batching effectiveness:
+	// forward passes run by the collector and the classify requests they
+	// served. Zero when batching is disabled.
+	Batches         uint64
+	BatchedRequests uint64
 }
 
 // Server serves classification requests over TCP.
 type Server struct {
-	raw  *models.Classifier
-	feat *Tail // nil when the features mode is unsupported
+	raw   *models.Classifier
+	feat  *Tail    // nil when the features mode is unsupported
+	batch *batcher // nil when micro-batching is disabled
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -63,12 +69,30 @@ type Server struct {
 	total      atomic.Uint64
 }
 
+// Option configures optional server behaviour.
+type Option func(*Server)
+
+// WithBatching enables the micro-batching layer for classify-raw requests:
+// concurrent requests from any number of connections are coalesced into one
+// batched forward pass (see BatchConfig).
+func WithBatching(cfg BatchConfig) Option {
+	return func(s *Server) {
+		s.batch = newBatcher(cfg, func(x *tensor.Tensor) *tensor.Tensor {
+			return s.raw.Logits(x, false)
+		})
+	}
+}
+
 // NewServer builds a server around a raw-image classifier. tail may be nil.
-func NewServer(raw *models.Classifier, tail *Tail) (*Server, error) {
+func NewServer(raw *models.Classifier, tail *Tail, opts ...Option) (*Server, error) {
 	if raw == nil {
 		return nil, errors.New("cloud: nil classifier")
 	}
-	return &Server{raw: raw, feat: tail, conns: make(map[net.Conn]struct{})}, nil
+	s := &Server{raw: raw, feat: tail, conns: make(map[net.Conn]struct{})}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
 }
 
 // Listen binds the server to an address (use "127.0.0.1:0" for an ephemeral
@@ -108,7 +132,7 @@ func (s *Server) Addr() net.Addr {
 
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Requests:    s.requests.Load(),
 		Errors:      s.errorCount.Load(),
 		BytesIn:     s.bytesIn.Load(),
@@ -116,6 +140,11 @@ func (s *Server) Stats() Stats {
 		ActiveConns: s.active.Load(),
 		TotalConns:  s.total.Load(),
 	}
+	if s.batch != nil {
+		st.Batches = s.batch.batches.Load()
+		st.BatchedRequests = s.batch.batchedReqs.Load()
+	}
+	return st
 }
 
 // Close stops accepting, closes all active connections and waits for
@@ -135,6 +164,9 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.mu.Unlock()
+	if s.batch != nil {
+		s.batch.close() // unblocks handlers parked in batcher.classify
+	}
 	s.wg.Wait()
 	return nil
 }
@@ -172,6 +204,28 @@ func (s *Server) removeConn(conn net.Conn) {
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.removeConn(conn)
+	// Responses from concurrent dispatches interleave on the connection in
+	// completion order; frame IDs let the pipelined edge client sort them
+	// out. The mutex keeps each frame write atomic.
+	var wmu sync.Mutex
+	// inflight bounds concurrent dispatches per connection: a client that
+	// pipelines faster than the collector drains must block in ReadFrame
+	// (TCP backpressure), not grow an unbounded goroutine/tensor backlog.
+	var inflight chan struct{}
+	if s.batch != nil {
+		inflight = make(chan struct{}, 2*s.batch.cfg.MaxBatch)
+	}
+	writeResp := func(resp protocol.Frame) {
+		wmu.Lock()
+		err := protocol.WriteFrame(conn, resp)
+		wmu.Unlock()
+		if err != nil {
+			s.errorCount.Add(1)
+			conn.Close() // fail the read loop too; the peer is gone
+			return
+		}
+		s.bytesOut.Add(uint64(len(resp.Payload)))
+	}
 	for {
 		f, err := protocol.ReadFrame(conn)
 		if err != nil {
@@ -181,12 +235,21 @@ func (s *Server) handleConn(conn net.Conn) {
 			return // malformed stream or peer gone: drop the connection
 		}
 		s.bytesIn.Add(uint64(len(f.Payload)))
-		resp := s.dispatch(f)
-		if err := protocol.WriteFrame(conn, resp); err != nil {
-			s.errorCount.Add(1)
-			return
+		if s.batch != nil && f.Type == protocol.MsgClassifyRaw {
+			// Keep reading while this request sits in the collector, so
+			// one pipelined connection can fill a batch by itself. Safe to
+			// grow the wait group here: this handler's own entry keeps the
+			// counter positive while Close drains.
+			inflight <- struct{}{}
+			s.wg.Add(1)
+			go func(f protocol.Frame) {
+				defer s.wg.Done()
+				defer func() { <-inflight }()
+				writeResp(s.dispatch(f))
+			}(f)
+			continue
 		}
-		s.bytesOut.Add(uint64(len(resp.Payload)))
+		writeResp(s.dispatch(f))
 	}
 }
 
@@ -197,6 +260,9 @@ func (s *Server) dispatch(f protocol.Frame) protocol.Frame {
 	case protocol.MsgPing:
 		return protocol.Frame{Type: protocol.MsgPong, ID: f.ID}
 	case protocol.MsgClassifyRaw:
+		if s.batch != nil {
+			return s.classifyBatched(f)
+		}
 		return s.classify(f, func(x *tensor.Tensor) *tensor.Tensor {
 			return s.raw.Logits(x, false)
 		})
@@ -207,6 +273,8 @@ func (s *Server) dispatch(f protocol.Frame) protocol.Frame {
 		return s.classify(f, func(x *tensor.Tensor) *tensor.Tensor {
 			return s.feat.Logits(x, false)
 		})
+	case protocol.MsgClassifyBatch:
+		return s.classifyBatchFrame(f)
 	default:
 		return errorFrame(f.ID, fmt.Sprintf("unsupported message type %s", f.Type))
 	}
@@ -228,17 +296,67 @@ func (s *Server) classify(f protocol.Frame, logits func(*tensor.Tensor) *tensor.
 		s.errorCount.Add(1)
 		return errorFrame(f.ID, err.Error())
 	}
-	probs := tensor.SoftmaxRow(out.Row(0))
-	pred := 0
-	for i, v := range probs {
-		if v > probs[pred] {
-			pred = i
-		}
+	pred, conf := argmaxRow(out.Row(0))
+	return protocol.Frame{
+		Type:    protocol.MsgResult,
+		ID:      f.ID,
+		Payload: protocol.EncodeResult(int32(pred), conf),
+	}
+}
+
+// classifyBatched routes one classify-raw request through the micro-batch
+// collector, which fuses it with concurrent requests from other connections.
+func (s *Server) classifyBatched(f protocol.Frame) protocol.Frame {
+	t, err := protocol.DecodeTensor(f.Payload)
+	if err != nil {
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, err.Error())
+	}
+	if t.Dims() != 3 {
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, fmt.Sprintf("expected CHW tensor, got rank %d", t.Dims()))
+	}
+	pred, conf, err := s.batch.classify(t)
+	if err != nil {
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, err.Error())
 	}
 	return protocol.Frame{
 		Type:    protocol.MsgResult,
 		ID:      f.ID,
-		Payload: protocol.EncodeResult(int32(pred), probs[pred]),
+		Payload: protocol.EncodeResult(pred, conf),
+	}
+}
+
+// classifyBatchFrame serves a client-assembled batch (MsgClassifyBatch): the
+// payload already holds an NCHW tensor, so it runs as one forward pass
+// directly, bypassing the collector.
+func (s *Server) classifyBatchFrame(f protocol.Frame) protocol.Frame {
+	t, err := protocol.DecodeTensor(f.Payload)
+	if err != nil {
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, err.Error())
+	}
+	if t.Dims() != 4 {
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, fmt.Sprintf("expected NCHW tensor, got rank %d", t.Dims()))
+	}
+	out, err := safeLogits(func(x *tensor.Tensor) *tensor.Tensor {
+		return s.raw.Logits(x, false)
+	}, t)
+	if err != nil {
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, err.Error())
+	}
+	results := make([]protocol.Result, t.Dim(0))
+	for i := range results {
+		pred, conf := argmaxRow(out.Row(i))
+		results[i] = protocol.Result{Pred: int32(pred), Conf: conf}
+	}
+	return protocol.Frame{
+		Type:    protocol.MsgResultBatch,
+		ID:      f.ID,
+		Payload: protocol.EncodeResults(results),
 	}
 }
 

@@ -47,6 +47,9 @@ func setupAdapted(t *testing.T, seed int64) (*MEANet, *data.Synth) {
 }
 
 func TestReplayTrainingAdaptsWithoutForgetting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay training takes seconds per run; skipped in -short CI runs")
+	}
 	m, orig := setupAdapted(t, 40)
 	shifted := shiftedData(t, 4040)
 
@@ -81,6 +84,9 @@ func TestReplayTrainingAdaptsWithoutForgetting(t *testing.T) {
 }
 
 func TestReplayTrainingValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay training takes seconds per run; skipped in -short CI runs")
+	}
 	m, orig := setupAdapted(t, 42)
 	shifted := shiftedData(t, 4242)
 	cfg := quickCfg(1, 42)
@@ -115,6 +121,9 @@ func TestReplayTrainingValidation(t *testing.T) {
 }
 
 func TestReplayZeroFractionEqualsNewDataOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay training takes seconds per run; skipped in -short CI runs")
+	}
 	m, orig := setupAdapted(t, 45)
 	shifted := shiftedData(t, 4545)
 	cfg := quickCfg(2, 45)

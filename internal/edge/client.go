@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/meanet/meanet/internal/models"
@@ -45,16 +46,29 @@ func (c *DialConfig) fillDefaults() {
 }
 
 // TCPClient talks to a cloud.Server over one TCP connection. Requests are
-// serialized (one in flight at a time), matching the edge device model of a
-// single uplink.
+// pipelined: any number of goroutines may have classify calls in flight
+// concurrently; frames are matched back to callers by request ID, so one
+// uplink carries many overlapping offloads (which is what lets a batching
+// server coalesce them).
 type TCPClient struct {
 	cfg DialConfig
 
-	mu     sync.Mutex
-	conn   net.Conn
-	nextID uint64
+	wmu sync.Mutex // serializes frame writes onto the connection
 
-	bytesSent uint64
+	mu      sync.Mutex // guards conn, pending, nextID, failure
+	conn    net.Conn
+	pending map[uint64]chan clientResult
+	nextID  uint64
+	broken  error // terminal transport error observed by the reader
+
+	bytesSent atomic.Uint64
+}
+
+// clientResult carries one matched response frame (or the transport error
+// that ended the connection) to the goroutine that sent the request.
+type clientResult struct {
+	frame protocol.Frame
+	err   error
 }
 
 var _ CloudClient = (*TCPClient)(nil)
@@ -69,14 +83,122 @@ func DialCloud(addr string, cfg DialConfig) (*TCPClient, error) {
 	if err != nil {
 		return nil, fmt.Errorf("edge: dial cloud %s: %w", addr, err)
 	}
-	return &TCPClient{cfg: cfg, conn: netsim.Shape(conn, cfg.Link)}, nil
+	return newTCPClient(netsim.Shape(conn, cfg.Link), cfg), nil
 }
 
 // NewClientOnConn wraps an existing connection (used by tests to inject
 // faulty transports).
 func NewClientOnConn(conn net.Conn, cfg DialConfig) *TCPClient {
 	cfg.fillDefaults()
-	return &TCPClient{cfg: cfg, conn: conn}
+	return newTCPClient(conn, cfg)
+}
+
+func newTCPClient(conn net.Conn, cfg DialConfig) *TCPClient {
+	c := &TCPClient{cfg: cfg, conn: conn, pending: make(map[uint64]chan clientResult)}
+	go c.readLoop(conn)
+	return c
+}
+
+// readLoop is the demultiplexer: it owns all reads from the connection and
+// routes each response frame to the goroutine whose request ID it carries.
+// Frames for requests that already timed out are dropped. A read error is
+// terminal: every in-flight and future request fails with it.
+func (c *TCPClient) readLoop(conn net.Conn) {
+	for {
+		f, err := protocol.ReadFrame(conn)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.ID]
+		if ok {
+			delete(c.pending, f.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- clientResult{frame: f}
+		}
+	}
+}
+
+// fail marks the transport broken and fans the error out to all waiters.
+func (c *TCPClient) fail(err error) {
+	c.mu.Lock()
+	if c.broken == nil {
+		c.broken = err
+	}
+	waiters := c.pending
+	c.pending = make(map[uint64]chan clientResult)
+	c.mu.Unlock()
+	for _, ch := range waiters {
+		ch <- clientResult{err: err}
+	}
+}
+
+// send registers a waiter and writes one request frame. It returns the
+// request ID and the waiter channel to receive the matched response on.
+func (c *TCPClient) send(msgType protocol.MsgType, payload []byte) (uint64, chan clientResult, error) {
+	c.mu.Lock()
+	if c.conn == nil {
+		c.mu.Unlock()
+		return 0, nil, errors.New("edge: client closed")
+	}
+	if c.broken != nil {
+		err := c.broken
+		c.mu.Unlock()
+		return 0, nil, fmt.Errorf("edge: connection broken: %w", err)
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan clientResult, 1)
+	c.pending[id] = ch
+	conn := c.conn
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := conn.SetWriteDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	if err == nil {
+		err = protocol.WriteFrame(conn, protocol.Frame{Type: msgType, ID: id, Payload: payload})
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		// A failed write may have left a partial frame on the wire; the
+		// byte stream is no longer trustworthy, so poison the connection
+		// (failing all in-flight requests) rather than let later frames be
+		// parsed mid-frame by the server.
+		c.forget(id)
+		c.fail(err)
+		return 0, nil, fmt.Errorf("edge: send: %w", err)
+	}
+	c.bytesSent.Add(uint64(len(payload)))
+	return id, ch, nil
+}
+
+// forget drops a waiter registration (after a failed write or a timeout).
+func (c *TCPClient) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// await blocks until the response for id arrives or the request times out.
+// On timeout the waiter is deregistered, so a late response frame for this
+// ID is discarded by the read loop instead of being mistaken for another
+// request's answer.
+func (c *TCPClient) await(id uint64, ch chan clientResult) (protocol.Frame, error) {
+	timer := time.NewTimer(c.cfg.RequestTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return protocol.Frame{}, fmt.Errorf("edge: receive: %w", r.err)
+		}
+		return r.frame, nil
+	case <-timer.C:
+		c.forget(id)
+		return protocol.Frame{}, errors.New("edge: request timed out")
+	}
 }
 
 // Classify performs one classify-raw round trip.
@@ -97,29 +219,16 @@ func (c *TCPClient) ClassifyFeatures(feat *tensor.Tensor) (int, float64, error) 
 	return c.roundTrip(protocol.MsgClassifyFeat, feat)
 }
 
-// roundTrip performs one classify exchange of the given message type.
+// roundTrip performs one classify exchange of the given message type. Many
+// round trips may overlap on the same connection.
 func (c *TCPClient) roundTrip(msgType protocol.MsgType, t *tensor.Tensor) (int, float64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
-		return 0, 0, errors.New("edge: client closed")
-	}
-	c.nextID++
-	id := c.nextID
-	payload := protocol.EncodeTensor(t)
-	if err := c.conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout)); err != nil {
-		return 0, 0, fmt.Errorf("edge: set deadline: %w", err)
-	}
-	if err := protocol.WriteFrame(c.conn, protocol.Frame{Type: msgType, ID: id, Payload: payload}); err != nil {
-		return 0, 0, fmt.Errorf("edge: send: %w", err)
-	}
-	c.bytesSent += uint64(len(payload))
-	f, err := protocol.ReadFrame(c.conn)
+	id, ch, err := c.send(msgType, protocol.EncodeTensor(t))
 	if err != nil {
-		return 0, 0, fmt.Errorf("edge: receive: %w", err)
+		return 0, 0, err
 	}
-	if f.ID != id {
-		return 0, 0, fmt.Errorf("edge: response id %d for request %d", f.ID, id)
+	f, err := c.await(id, ch)
+	if err != nil {
+		return 0, 0, err
 	}
 	switch f.Type {
 	case protocol.MsgResult:
@@ -135,26 +244,67 @@ func (c *TCPClient) roundTrip(msgType protocol.MsgType, t *tensor.Tensor) (int, 
 	}
 }
 
+// ClassifyBatch ships a client-assembled batch of same-shaped CHW images as
+// one MsgClassifyBatch frame and returns the per-image predictions. One
+// frame, one forward pass on the server, one response — the cheapest way to
+// offload a burst the edge has already accumulated locally.
+func (c *TCPClient) ClassifyBatch(imgs []*tensor.Tensor) ([]int, []float64, error) {
+	if len(imgs) == 0 {
+		return nil, nil, errors.New("edge: ClassifyBatch with no images")
+	}
+	shape := imgs[0].Shape()
+	if len(shape) != 3 {
+		return nil, nil, fmt.Errorf("edge: ClassifyBatch expects CHW images, got shape %v", shape)
+	}
+	batch := tensor.New(append([]int{len(imgs)}, shape...)...)
+	for i, img := range imgs {
+		if !img.SameShape(imgs[0]) {
+			return nil, nil, fmt.Errorf("edge: ClassifyBatch image %d has shape %v, want %v", i, img.Shape(), shape)
+		}
+		copy(batch.Sample(i).Data(), img.Data())
+	}
+	id, ch, err := c.send(protocol.MsgClassifyBatch, protocol.EncodeTensor(batch))
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := c.await(id, ch)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch f.Type {
+	case protocol.MsgResultBatch:
+		rs, err := protocol.DecodeResults(f.Payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(rs) != len(imgs) {
+			return nil, nil, fmt.Errorf("edge: batch response has %d results for %d images", len(rs), len(imgs))
+		}
+		preds := make([]int, len(rs))
+		confs := make([]float64, len(rs))
+		for i, r := range rs {
+			preds[i] = int(r.Pred)
+			confs[i] = float64(r.Conf)
+		}
+		return preds, confs, nil
+	case protocol.MsgError:
+		return nil, nil, fmt.Errorf("edge: cloud error: %s", f.Payload)
+	default:
+		return nil, nil, fmt.Errorf("edge: unexpected response type %s", f.Type)
+	}
+}
+
 // Ping round-trips a ping frame, verifying the link end to end.
 func (c *TCPClient) Ping() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
-		return errors.New("edge: client closed")
-	}
-	c.nextID++
-	id := c.nextID
-	if err := c.conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout)); err != nil {
-		return err
-	}
-	if err := protocol.WriteFrame(c.conn, protocol.Frame{Type: protocol.MsgPing, ID: id}); err != nil {
-		return err
-	}
-	f, err := protocol.ReadFrame(c.conn)
+	id, ch, err := c.send(protocol.MsgPing, nil)
 	if err != nil {
 		return err
 	}
-	if f.Type != protocol.MsgPong || f.ID != id {
+	f, err := c.await(id, ch)
+	if err != nil {
+		return err
+	}
+	if f.Type != protocol.MsgPong {
 		return fmt.Errorf("edge: bad pong (type %s id %d)", f.Type, f.ID)
 	}
 	return nil
@@ -162,21 +312,20 @@ func (c *TCPClient) Ping() error {
 
 // BytesSent reports the cumulative payload bytes uploaded.
 func (c *TCPClient) BytesSent() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.bytesSent
+	return c.bytesSent.Load()
 }
 
-// Close shuts the connection down.
+// Close shuts the connection down; the read loop then fails any requests
+// still in flight.
 func (c *TCPClient) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
+	conn := c.conn
+	c.conn = nil
+	c.mu.Unlock()
+	if conn == nil {
 		return nil
 	}
-	err := c.conn.Close()
-	c.conn = nil
-	return err
+	return conn.Close()
 }
 
 // InProcClient serves cloud requests from an in-process classifier — the

@@ -7,6 +7,7 @@ package edge_test
 import (
 	"math/rand"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -132,6 +133,262 @@ func TestTCPClientSurvivesInjectedTransportFault(t *testing.T) {
 	}
 	if _, _, err := client.Classify(img); err == nil {
 		t.Fatal("classify succeeded over a broken link")
+	}
+}
+
+// TestBatchedServerMatchesUnbatchedBitwise is the acceptance test of the
+// micro-batching path: N concurrent edge clients offload to a batching
+// server, and every prediction and confidence must be bitwise identical to
+// the unbatched server running the same model — batching is a pure
+// throughput optimisation, never a numerics change. This holds because the
+// tensor kernels accumulate in the same order for every batch size.
+func TestBatchedServerMatchesUnbatchedBitwise(t *testing.T) {
+	cls := buildCloudModel(t, 40)
+	plain, err := cloud.NewServer(cls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	batched, err := cloud.NewServer(cls, nil,
+		cloud.WithBatching(cloud.BatchConfig{MaxBatch: 8, Linger: 50 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := batched.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer batched.Close()
+
+	const clients, perClient = 6, 4
+	const total = clients * perClient
+	rng := rand.New(rand.NewSource(41))
+	imgs := make([]*tensor.Tensor, total)
+	for i := range imgs {
+		imgs[i] = tensor.Randn(rng, 1, 3, 8, 8)
+	}
+
+	// Reference: the unbatched server, one request at a time.
+	ref, err := edge.DialCloud(plain.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	wantPred := make([]int, total)
+	wantConf := make([]float64, total)
+	for i, img := range imgs {
+		wantPred[i], wantConf[i], err = ref.Classify(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Measurement: N concurrent clients against the batching server.
+	gotPred := make([]int, total)
+	gotConf := make([]float64, total)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client, err := edge.DialCloud(batched.Addr().String(), edge.DialConfig{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			for i := c * perClient; i < (c+1)*perClient; i++ {
+				pred, conf, err := client.Classify(imgs[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				gotPred[i], gotConf[i] = pred, conf
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for i := range imgs {
+		if gotPred[i] != wantPred[i] {
+			t.Fatalf("image %d: batched pred %d, unbatched %d", i, gotPred[i], wantPred[i])
+		}
+		if gotConf[i] != wantConf[i] {
+			t.Fatalf("image %d: batched conf %v != unbatched %v (must be bitwise identical)",
+				i, gotConf[i], wantConf[i])
+		}
+	}
+
+	st := batched.Stats()
+	if st.BatchedRequests != total {
+		t.Fatalf("collector served %d requests, want %d", st.BatchedRequests, total)
+	}
+	if st.Batches >= st.BatchedRequests {
+		t.Fatalf("no coalescing: %d batches for %d requests", st.Batches, st.BatchedRequests)
+	}
+	t.Logf("coalesced %d requests into %d forwards", st.BatchedRequests, st.Batches)
+}
+
+// TestPipelinedClientConcurrentRequests drives one TCP connection from many
+// goroutines at once: the pipelined client must match responses back to the
+// right caller by frame ID.
+func TestPipelinedClientConcurrentRequests(t *testing.T) {
+	cls := buildCloudModel(t, 50)
+	srv, err := cloud.NewServer(cls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := edge.DialCloud(srv.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	inproc := &edge.InProcClient{Model: cls}
+	rng := rand.New(rand.NewSource(51))
+	const n = 12
+	imgs := make([]*tensor.Tensor, n)
+	want := make([]int, n)
+	for i := range imgs {
+		imgs[i] = tensor.Randn(rng, 1, 3, 8, 8)
+		p, _, err := inproc.Classify(imgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = p
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pred, _, err := client.Classify(imgs[i])
+			if err != nil {
+				errs <- err
+				return
+			}
+			if pred != want[i] {
+				t.Errorf("request %d: pred %d, want %d (response routed to wrong caller?)", i, pred, want[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestSingleConnectionFillsBatches pins the interplay of the two halves of
+// the serving path: one pipelined client firing concurrent requests over a
+// single TCP connection must be enough for the server's collector to form
+// multi-request batches — the server keeps reading while requests wait in
+// the collector.
+func TestSingleConnectionFillsBatches(t *testing.T) {
+	cls := buildCloudModel(t, 70)
+	srv, err := cloud.NewServer(cls, nil,
+		cloud.WithBatching(cloud.BatchConfig{MaxBatch: 8, Linger: 100 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := edge.DialCloud(srv.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	rng := rand.New(rand.NewSource(71))
+	const n = 8
+	imgs := make([]*tensor.Tensor, n)
+	for i := range imgs {
+		imgs[i] = tensor.Randn(rng, 1, 3, 8, 8)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, err := client.Classify(imgs[i]); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.BatchedRequests != n {
+		t.Fatalf("collector served %d requests, want %d", st.BatchedRequests, n)
+	}
+	if st.Batches >= n {
+		t.Fatalf("one pipelined connection did not coalesce: %d batches for %d requests", st.Batches, n)
+	}
+	t.Logf("one connection: %d requests in %d forwards", st.BatchedRequests, st.Batches)
+}
+
+// TestClassifyBatchEndToEnd ships a client-assembled batch in one frame and
+// checks it against per-image classification.
+func TestClassifyBatchEndToEnd(t *testing.T) {
+	cls := buildCloudModel(t, 60)
+	srv, err := cloud.NewServer(cls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := edge.DialCloud(srv.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	rng := rand.New(rand.NewSource(61))
+	imgs := make([]*tensor.Tensor, 5)
+	for i := range imgs {
+		imgs[i] = tensor.Randn(rng, 1, 3, 8, 8)
+	}
+	preds, confs, err := client.ClassifyBatch(imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != len(imgs) || len(confs) != len(imgs) {
+		t.Fatalf("batch returned %d/%d results for %d images", len(preds), len(confs), len(imgs))
+	}
+	for i, img := range imgs {
+		pred, conf, err := client.Classify(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if preds[i] != pred || confs[i] != conf {
+			t.Fatalf("image %d: batch %d/%v, single %d/%v", i, preds[i], confs[i], pred, conf)
+		}
+	}
+	// Shape-mismatched batches are rejected client-side.
+	if _, _, err := client.ClassifyBatch([]*tensor.Tensor{
+		tensor.Randn(rng, 1, 3, 8, 8), tensor.Randn(rng, 1, 3, 4, 4),
+	}); err == nil {
+		t.Fatal("mixed-shape batch accepted")
 	}
 }
 

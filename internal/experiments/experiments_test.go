@@ -12,7 +12,18 @@ import (
 // context, so the cost of training is paid once per test binary run.
 var sharedCtx = NewContext(Config{Scale: data.ScaleTiny, Seed: 3})
 
+// skipPaperScale gates tests that train the shared tiny-scale systems (tens
+// of seconds of CPU): the CI short suite runs only the fast structural
+// tests, the full tier-1 run everything.
+func skipPaperScale(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("trains paper-scale systems; run without -short for full coverage")
+	}
+}
+
 func TestSystemConstructionAndCaching(t *testing.T) {
+	skipPaperScale(t)
 	sys, err := sharedCtx.System(C100A)
 	if err != nil {
 		t.Fatal(err)
@@ -36,6 +47,7 @@ func TestSystemConstructionAndCaching(t *testing.T) {
 }
 
 func TestFig2ShowsClasswiseComplexity(t *testing.T) {
+	skipPaperScale(t)
 	r, err := Fig2(sharedCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -49,6 +61,7 @@ func TestFig2ShowsClasswiseComplexity(t *testing.T) {
 }
 
 func TestFig3CategoriesPartition(t *testing.T) {
+	skipPaperScale(t)
 	r, err := Fig3(sharedCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -64,6 +77,7 @@ func TestFig3CategoriesPartition(t *testing.T) {
 }
 
 func TestFig5ProportionsSum(t *testing.T) {
+	skipPaperScale(t)
 	r, err := Fig5(sharedCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -79,6 +93,7 @@ func TestFig5ProportionsSum(t *testing.T) {
 }
 
 func TestFig6BlockwiseAlwaysSmaller(t *testing.T) {
+	skipPaperScale(t)
 	r, err := Fig6(sharedCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -94,6 +109,7 @@ func TestFig6BlockwiseAlwaysSmaller(t *testing.T) {
 }
 
 func TestFig7MonotoneBeta(t *testing.T) {
+	skipPaperScale(t)
 	r, err := Fig7(sharedCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -116,6 +132,7 @@ func TestFig7MonotoneBeta(t *testing.T) {
 }
 
 func TestFig8EnergyShape(t *testing.T) {
+	skipPaperScale(t)
 	r, err := Fig8(sharedCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -147,6 +164,7 @@ func TestFig8EnergyShape(t *testing.T) {
 }
 
 func TestTableIInstantiation(t *testing.T) {
+	skipPaperScale(t)
 	r, err := TableI(sharedCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -162,6 +180,7 @@ func TestTableIInstantiation(t *testing.T) {
 }
 
 func TestTableIIHardClassImprovementOnTrain(t *testing.T) {
+	skipPaperScale(t)
 	r, err := TableII(sharedCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -180,6 +199,7 @@ func TestTableIIHardClassImprovementOnTrain(t *testing.T) {
 }
 
 func TestTableIIIDetectionAboveChance(t *testing.T) {
+	skipPaperScale(t)
 	r, err := TableIII(sharedCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -198,6 +218,7 @@ func TestTableIIIDetectionAboveChance(t *testing.T) {
 }
 
 func TestTableIVHardBeatsRandomDetection(t *testing.T) {
+	skipPaperScale(t)
 	r, err := TableIV(sharedCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -231,6 +252,7 @@ func TestTableVRuns(t *testing.T) {
 }
 
 func TestTableVIMatchesPaperScaleParams(t *testing.T) {
+	skipPaperScale(t)
 	r, err := TableVI(sharedCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -257,6 +279,7 @@ func TestTableVIMatchesPaperScaleParams(t *testing.T) {
 }
 
 func TestTableVIIMatchesPaperConstants(t *testing.T) {
+	skipPaperScale(t)
 	r, err := TableVII(sharedCtx)
 	if err != nil {
 		t.Fatal(err)
@@ -323,6 +346,7 @@ func TestPaperScaleModelsBuildAndProfile(t *testing.T) {
 }
 
 func TestFreshEdgeWithPretrainedMainPreservesMainBehaviour(t *testing.T) {
+	skipPaperScale(t)
 	sys, err := sharedCtx.System(C100A)
 	if err != nil {
 		t.Fatal(err)

@@ -19,12 +19,14 @@ type MsgType uint8
 
 // Message types.
 const (
-	MsgClassifyRaw  MsgType = iota + 1 // payload: image tensor [C,H,W]
-	MsgClassifyFeat                    // payload: feature tensor [C,H,W]
-	MsgResult                          // payload: int32 class + float32 confidence
-	MsgError                           // payload: UTF-8 error text
-	MsgPing                            // empty payload
-	MsgPong                            // empty payload
+	MsgClassifyRaw   MsgType = iota + 1 // payload: image tensor [C,H,W]
+	MsgClassifyFeat                     // payload: feature tensor [C,H,W]
+	MsgResult                           // payload: int32 class + float32 confidence
+	MsgError                            // payload: UTF-8 error text
+	MsgPing                             // empty payload
+	MsgPong                             // empty payload
+	MsgClassifyBatch                    // payload: batched image tensor [N,C,H,W]
+	MsgResultBatch                      // payload: uint32 count + count results
 )
 
 // String names the message type.
@@ -42,6 +44,10 @@ func (t MsgType) String() string {
 		return "ping"
 	case MsgPong:
 		return "pong"
+	case MsgClassifyBatch:
+		return "classify-batch"
+	case MsgResultBatch:
+		return "result-batch"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -180,4 +186,46 @@ func DecodeResult(b []byte) (pred int32, conf float32, err error) {
 	pred = int32(binary.LittleEndian.Uint32(b))
 	conf = math.Float32frombits(binary.LittleEndian.Uint32(b[4:]))
 	return pred, conf, nil
+}
+
+// Result is one classification outcome inside a MsgResultBatch payload.
+type Result struct {
+	Pred int32
+	Conf float32
+}
+
+// EncodeResults serializes a batch of classification results:
+// uint32 count followed by count (int32 class, float32 confidence) pairs.
+func EncodeResults(rs []Result) []byte {
+	out := make([]byte, 4+8*len(rs))
+	binary.LittleEndian.PutUint32(out, uint32(len(rs)))
+	off := 4
+	for _, r := range rs {
+		binary.LittleEndian.PutUint32(out[off:], uint32(r.Pred))
+		binary.LittleEndian.PutUint32(out[off+4:], math.Float32bits(r.Conf))
+		off += 8
+	}
+	return out
+}
+
+// DecodeResults reverses EncodeResults, validating the payload exactly.
+func DecodeResults(b []byte) ([]Result, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("protocol: result batch payload length %d, want >= 4", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n > MaxPayload/8 {
+		return nil, fmt.Errorf("protocol: implausible result batch count %d", n)
+	}
+	if len(b) != 4+8*int(n) {
+		return nil, fmt.Errorf("protocol: result batch payload length %d, want %d", len(b), 4+8*int(n))
+	}
+	rs := make([]Result, n)
+	off := 4
+	for i := range rs {
+		rs[i].Pred = int32(binary.LittleEndian.Uint32(b[off:]))
+		rs[i].Conf = math.Float32frombits(binary.LittleEndian.Uint32(b[off+4:]))
+		off += 8
+	}
+	return rs, nil
 }

@@ -175,15 +175,55 @@ func TestResultRoundTrip(t *testing.T) {
 	}
 }
 
+func TestResultsBatchRoundTrip(t *testing.T) {
+	in := []Result{{Pred: 3, Conf: 0.25}, {Pred: 0, Conf: 1}, {Pred: 99, Conf: 0.007}}
+	out, err := DecodeResults(EncodeResults(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip gave %d results, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("result %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+	// Empty batches are legal (a server may flush an all-error batch).
+	empty, err := DecodeResults(EncodeResults(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Fatalf("empty batch decoded to %d results", len(empty))
+	}
+}
+
+func TestDecodeResultsRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{
+		nil,
+		{1, 2},
+		{1, 0, 0, 0},             // count 1, no body
+		{2, 0, 0, 0, 1, 2, 3, 4}, // count 2, body for half a result
+		append([]byte{255, 255, 255, 255}, make([]byte, 32)...), // absurd count
+	} {
+		if _, err := DecodeResults(b); err == nil {
+			t.Fatalf("garbage %v accepted", b)
+		}
+	}
+}
+
 func TestMsgTypeStrings(t *testing.T) {
 	names := map[MsgType]string{
-		MsgClassifyRaw:  "classify-raw",
-		MsgClassifyFeat: "classify-features",
-		MsgResult:       "result",
-		MsgError:        "error",
-		MsgPing:         "ping",
-		MsgPong:         "pong",
-		MsgType(99):     "msgtype(99)",
+		MsgClassifyRaw:   "classify-raw",
+		MsgClassifyFeat:  "classify-features",
+		MsgResult:        "result",
+		MsgError:         "error",
+		MsgPing:          "ping",
+		MsgPong:          "pong",
+		MsgClassifyBatch: "classify-batch",
+		MsgResultBatch:   "result-batch",
+		MsgType(99):      "msgtype(99)",
 	}
 	for ty, want := range names {
 		if got := ty.String(); got != want {

@@ -1,0 +1,12 @@
+//go:build amd64
+
+package tensor
+
+// micro4x8 is the SSE micro-kernel: C[4,8] += Ap @ Bp for packed panels
+// Ap [kb][4] and Bp [kb][8]. c addresses C(0,0) with row stride ldc
+// (elements). Implemented in gemm_amd64.s with MULPS/ADDPS — elementwise
+// IEEE multiply then add, the same operation sequence as the generic Go
+// kernel, so results are bitwise identical across architectures.
+//
+//go:noescape
+func micro4x8(ap, bp *float32, kb int, c *float32, ldc int)

@@ -1,0 +1,92 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func micro4x8(ap, bp *float32, kb int, c *float32, ldc int)
+//
+// Register-tiled 4x8 GEMM micro-kernel: for p in [0,kb)
+//
+//	C[r][0:8] += Ap[p][r] * Bp[p][0:8]   (r = 0..3)
+//
+// Ap is packed [kb][4], Bp is packed [kb][8]. The eight C vectors
+// (4 rows x two 4-wide halves) stay in X0-X7 for the whole k loop; each
+// iteration broadcasts the four A scalars and streams 32 contiguous bytes
+// of Bp. MULPS/ADDPS keep scalar IEEE mul-then-add semantics per element,
+// matching the pure-Go kernels bitwise.
+TEXT ·micro4x8(SB), NOSPLIT, $0-40
+	MOVQ ap+0(FP), AX
+	MOVQ bp+8(FP), BX
+	MOVQ kb+16(FP), CX
+	MOVQ c+24(FP), DX
+	MOVQ ldc+32(FP), SI
+	SHLQ $2, SI          // row stride in bytes
+
+	// Load the 4x8 C tile.
+	MOVQ   DX, DI
+	MOVUPS (DI), X0
+	MOVUPS 16(DI), X1
+	ADDQ   SI, DI
+	MOVUPS (DI), X2
+	MOVUPS 16(DI), X3
+	ADDQ   SI, DI
+	MOVUPS (DI), X4
+	MOVUPS 16(DI), X5
+	ADDQ   SI, DI
+	MOVUPS (DI), X6
+	MOVUPS 16(DI), X7
+
+loop:
+	MOVUPS (BX), X8      // Bp[p][0:4]
+	MOVUPS 16(BX), X9    // Bp[p][4:8]
+
+	MOVSS  (AX), X10     // broadcast Ap[p][0]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X0
+	ADDPS  X11, X1
+
+	MOVSS  4(AX), X12    // broadcast Ap[p][1]
+	SHUFPS $0x00, X12, X12
+	MOVAPS X12, X13
+	MULPS  X8, X12
+	MULPS  X9, X13
+	ADDPS  X12, X2
+	ADDPS  X13, X3
+
+	MOVSS  8(AX), X10    // broadcast Ap[p][2]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X4
+	ADDPS  X11, X5
+
+	MOVSS  12(AX), X12   // broadcast Ap[p][3]
+	SHUFPS $0x00, X12, X12
+	MOVAPS X12, X13
+	MULPS  X8, X12
+	MULPS  X9, X13
+	ADDPS  X12, X6
+	ADDPS  X13, X7
+
+	ADDQ $16, AX
+	ADDQ $32, BX
+	DECQ CX
+	JNZ  loop
+
+	// Store the C tile back.
+	MOVQ   DX, DI
+	MOVUPS X0, (DI)
+	MOVUPS X1, 16(DI)
+	ADDQ   SI, DI
+	MOVUPS X2, (DI)
+	MOVUPS X3, 16(DI)
+	ADDQ   SI, DI
+	MOVUPS X4, (DI)
+	MOVUPS X5, 16(DI)
+	ADDQ   SI, DI
+	MOVUPS X6, (DI)
+	MOVUPS X7, 16(DI)
+	RET

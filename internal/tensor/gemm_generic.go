@@ -1,0 +1,31 @@
+//go:build !amd64
+
+package tensor
+
+import "unsafe"
+
+// micro4x8 is the portable micro-kernel: C[4,8] += Ap @ Bp for packed
+// panels Ap [kb][4] and Bp [kb][8]. Elementwise mul-then-add in ascending
+// k order — the same operation sequence as the amd64 SSE kernel, so both
+// produce bitwise-identical results.
+func micro4x8(ap, bp *float32, kb int, c *float32, ldc int) {
+	as := unsafe.Slice(ap, kb*gemmMR)
+	bs := unsafe.Slice(bp, kb*gemmNR)
+	cs := unsafe.Slice(c, 3*ldc+gemmNR)
+	c0 := cs[0*ldc : 0*ldc+8]
+	c1 := cs[1*ldc : 1*ldc+8]
+	c2 := cs[2*ldc : 2*ldc+8]
+	c3 := cs[3*ldc : 3*ldc+8]
+	for p := 0; p < kb; p++ {
+		a := as[4*p : 4*p+4]
+		b := bs[8*p : 8*p+8]
+		a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+		for j := 0; j < gemmNR; j++ {
+			bj := b[j]
+			c0[j] += a0 * bj
+			c1[j] += a1 * bj
+			c2[j] += a2 * bj
+			c3[j] += a3 * bj
+		}
+	}
+}

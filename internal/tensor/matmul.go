@@ -39,17 +39,20 @@ func MatMulTN(a, b *Tensor) *Tensor {
 	return out
 }
 
-// gemmNN computes out[m,n] = a[m,k] @ b[k,n] using an ikj loop order so the
-// inner loop streams contiguously through b and out.
+// gemmNN computes out[m,n] = a[m,k] @ b[k,n]. Large products go through the
+// blocked, panel-packed kernel in gemm.go; tiny ones use an ikj loop whose
+// inner loop streams contiguously through b and out. Both accumulate over k
+// in ascending order, so the paths agree bitwise.
 func gemmNN(a, b, out []float32, m, k, n int) {
+	if m*k*n > gemmSmall {
+		gemmBlocked(a, k, 1, b, n, 1, out, m, k, n)
+		return
+	}
 	parfor(m, func(rs, re int) {
 		for i := rs; i < re; i++ {
 			ar := a[i*k : (i+1)*k]
 			or := out[i*n : (i+1)*n]
 			for p, av := range ar {
-				if av == 0 {
-					continue
-				}
 				br := b[p*n : (p+1)*n]
 				for j, bv := range br {
 					or[j] += av * bv
@@ -60,8 +63,12 @@ func gemmNN(a, b, out []float32, m, k, n int) {
 }
 
 // gemmNT computes out[m,n] = a[m,k] @ b[n,k]ᵀ. Rows of a and b are both
-// contiguous, so the dot-product form is cache-friendly as-is.
+// contiguous, so the small-product fallback uses the dot-product form.
 func gemmNT(a, b, out []float32, m, k, n int) {
+	if m*k*n > gemmSmall {
+		gemmBlocked(a, k, 1, b, 1, k, out, m, k, n)
+		return
+	}
 	parfor(m, func(rs, re int) {
 		for i := rs; i < re; i++ {
 			ar := a[i*k : (i+1)*k]
@@ -78,17 +85,18 @@ func gemmNT(a, b, out []float32, m, k, n int) {
 	})
 }
 
-// gemmTN computes out[m,n] = a[k,m]ᵀ @ b[k,n] by accumulating rank-1
-// updates; parallelised over output rows (columns of a).
+// gemmTN computes out[m,n] = a[k,m]ᵀ @ b[k,n]; the small-product fallback
+// accumulates rank-1 updates, parallelised over output rows (columns of a).
 func gemmTN(a, b, out []float32, m, k, n int) {
+	if m*k*n > gemmSmall {
+		gemmBlocked(a, 1, m, b, n, 1, out, m, k, n)
+		return
+	}
 	parfor(m, func(rs, re int) {
 		for i := rs; i < re; i++ {
 			or := out[i*n : (i+1)*n]
 			for p := 0; p < k; p++ {
 				av := a[p*m+i]
-				if av == 0 {
-					continue
-				}
 				br := b[p*n : (p+1)*n]
 				for j, bv := range br {
 					or[j] += av * bv
