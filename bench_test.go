@@ -15,11 +15,15 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
+	"github.com/meanet/meanet/internal/cloud"
 	"github.com/meanet/meanet/internal/core"
 	"github.com/meanet/meanet/internal/data"
+	"github.com/meanet/meanet/internal/edge"
 	"github.com/meanet/meanet/internal/experiments"
 	"github.com/meanet/meanet/internal/models"
+	"github.com/meanet/meanet/internal/netsim"
 	"github.com/meanet/meanet/internal/nn"
 	"github.com/meanet/meanet/internal/protocol"
 	"github.com/meanet/meanet/internal/tensor"
@@ -293,6 +297,86 @@ func BenchmarkMEANetInferBatch(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(16*b.N)/b.Elapsed().Seconds(), "images/s")
+}
+
+// BenchmarkCloudOffload compares serial (one round trip per complex
+// instance, the pre-batching Infer loop) against batched (one round trip
+// per batch, the serving default) offload of 16 cloud-qualifying instances
+// through both transports. The offload is measured in isolation — the edge
+// MainForward is identical either way and would only dilute the gap.
+func BenchmarkCloudOffload(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	cloudBackbone, err := models.BuildResNet(rng, models.ResNetSpec{
+		Name: "offcloud", InChannels: 3, StemChannels: 8,
+		Channels: []int{8, 16}, Blocks: []int{1, 1}, Strides: []int{1, 2},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cloudModel := models.NewClassifier(rng, cloudBackbone, 8)
+	const n = 16
+	x := tensor.Randn(rng, 1, n, 3, 12, 12)
+
+	run := func(b *testing.B, offload core.CloudBatchFunc) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			_, _, errs, err := offload(x)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, e := range errs {
+				if e != nil {
+					b.Fatal(e)
+				}
+			}
+		}
+		b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "images/s")
+	}
+
+	inproc := &edge.InProcClient{Model: cloudModel}
+	b.Run("inproc/serial", func(b *testing.B) {
+		run(b, core.SerialOffload(func(img *tensor.Tensor) (int, float64, error) { return inproc.Classify(img) }))
+	})
+	b.Run("inproc/batched", func(b *testing.B) {
+		run(b, edge.BatchOffload(inproc))
+	})
+
+	srv, err := cloud.NewServer(cloudModel, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := edge.DialCloud(srv.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	b.Run("tcp/serial", func(b *testing.B) {
+		run(b, core.SerialOffload(func(img *tensor.Tensor) (int, float64, error) { return client.Classify(img) }))
+	})
+	b.Run("tcp/batched", func(b *testing.B) {
+		run(b, edge.BatchOffload(client))
+	})
+
+	// The WAN pair is where aggregation pays: with per-message uplink
+	// latency (the paper's WiFi setting), serial offload buys one round trip
+	// per complex instance, batched offload exactly one per batch.
+	wan, err := edge.DialCloud(srv.Addr().String(), edge.DialConfig{
+		Link: netsim.Link{Latency: 2 * time.Millisecond},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer wan.Close()
+	b.Run("wan/serial", func(b *testing.B) {
+		run(b, core.SerialOffload(func(img *tensor.Tensor) (int, float64, error) { return wan.Classify(img) }))
+	})
+	b.Run("wan/batched", func(b *testing.B) {
+		run(b, edge.BatchOffload(wan))
+	})
 }
 
 func BenchmarkProtocolTensorRoundTrip(b *testing.B) {

@@ -11,7 +11,12 @@
 // -batch enables server-side micro-batching: up to N concurrent classify
 // requests (from any number of edge connections) are coalesced into one
 // batched forward pass, waiting at most -linger (default 2ms) for the batch
-// to fill. Predictions are bitwise identical to the unbatched path.
+// to fill. The collector covers raw-image requests and — when the server is
+// built with a feature tail — partitioned-network feature requests, each in
+// their own batches. Client-assembled batch frames (classify-batch and
+// classify-features-batch), the edge runtime's default offload path, run as
+// one forward pass either way. Predictions are bitwise identical to the
+// unbatched path.
 //
 // The companion meanet-edge command, started with the same -dataset, -scale
 // and -seed, generates the identical synthetic dataset and offloads its

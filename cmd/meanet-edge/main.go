@@ -7,11 +7,16 @@
 //
 //	meanet-edge [-cloud 127.0.0.1:9400] [-dataset c100|imagenet]
 //	            [-scale tiny|small|full] [-seed N] [-threshold T]
-//	            [-variant A|B] [-latency 10ms] [-mbps 18.88]
+//	            [-variant A|B] [-latency 10ms] [-mbps 18.88] [-batch N]
 //
 // Start meanet-cloud first with the same -dataset, -scale and -seed so both
 // ends agree on the synthetic dataset and class count. With -cloud ""
 // (empty) the edge runs standalone.
+//
+// Cloud offload is batched: within each -batch sized inference batch, every
+// complex (high-entropy) instance is uploaded in ONE classify-batch round
+// trip instead of one round trip per instance, and a failed call falls back
+// to the edge decision per instance.
 package main
 
 import (
@@ -47,8 +52,12 @@ func run(args []string) error {
 	variant := fs.String("variant", "A", "MEANet variant: A (split backbone) or B (full backbone + extension)")
 	latency := fs.Duration("latency", 0, "simulated uplink latency")
 	mbps := fs.Float64("mbps", 0, "simulated uplink bandwidth (0 = unshaped)")
+	batch := fs.Int("batch", 64, "inference batch size (complex instances of a batch share one cloud round trip)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *batch < 1 {
+		return fmt.Errorf("batch size %d, want ≥1", *batch)
 	}
 	scale, err := parseScale(*scaleName)
 	if err != nil {
@@ -164,11 +173,12 @@ func run(args []string) error {
 		return err
 	}
 
-	// Stream the test set.
+	// Stream the test set; each batch's complex instances go to the cloud in
+	// one round trip.
 	correct := 0
 	streamStart := time.Now()
-	for startIdx := 0; startIdx < synth.Test.N; startIdx += 64 {
-		end := startIdx + 64
+	for startIdx := 0; startIdx < synth.Test.N; startIdx += *batch {
+		end := startIdx + *batch
 		if end > synth.Test.N {
 			end = synth.Test.N
 		}

@@ -87,12 +87,15 @@ func (b *batcher) classify(img *tensor.Tensor) (int32, float32, error) {
 	case <-b.done:
 		return 0, 0, errBatcherClosed
 	}
-	select {
-	case r := <-req.resp:
-		return r.pred, r.conf, r.err
-	case <-b.done:
-		return 0, 0, errBatcherClosed
-	}
+	// Once the collector has accepted the request (the unbuffered send above
+	// succeeded), it always delivers a response before exiting: on shutdown
+	// it still runs the batch it accumulated, and a shape-flushed pending
+	// request seeds the next batch unconditionally. Waiting on resp alone —
+	// never racing it against the done signal — means a batch that ran to
+	// completion during shutdown reports its real result instead of a bogus
+	// errBatcherClosed.
+	r := <-req.resp
+	return r.pred, r.conf, r.err
 }
 
 // close stops the collector. Safe to call multiple times.

@@ -181,3 +181,44 @@ func TestBatcherCloseUnblocksWaiters(t *testing.T) {
 		t.Fatal("classify succeeded on a closed batcher")
 	}
 }
+
+// TestBatcherShutdownPrefersDeliveredResponse is the regression test for the
+// classify/close race: a request whose batch ran to completion must get its
+// real result even when the done channel closes before the response lands.
+// The forward is held open until shutdown is observably underway, so the old
+// two-way select (resp vs done) would deterministically report
+// errBatcherClosed with the genuine response in flight.
+func TestBatcherShutdownPrefersDeliveredResponse(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	b := newBatcher(BatchConfig{MaxBatch: 1, Linger: time.Millisecond}, func(x *tensor.Tensor) *tensor.Tensor {
+		close(entered)
+		<-release
+		return stubInfer(8)(x)
+	})
+	type result struct {
+		pred int32
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		pred, _, err := b.classify(img(5, 1, 2, 2))
+		got <- result{pred, err}
+	}()
+	<-entered // the batch is inside the forward pass
+	closed := make(chan struct{})
+	go func() {
+		b.close() // closes done, then waits for the collector to drain
+		close(closed)
+	}()
+	<-b.done       // the shutdown signal is now visible to the waiter
+	close(release) // let the forward finish and deliver the response
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("delivered response lost to shutdown: %v", r.err)
+	}
+	if r.pred != 5 {
+		t.Fatalf("prediction %d, want 5", r.pred)
+	}
+	<-closed
+}

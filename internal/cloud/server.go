@@ -51,9 +51,10 @@ type Stats struct {
 
 // Server serves classification requests over TCP.
 type Server struct {
-	raw   *models.Classifier
-	feat  *Tail    // nil when the features mode is unsupported
-	batch *batcher // nil when micro-batching is disabled
+	raw       *models.Classifier
+	feat      *Tail    // nil when the features mode is unsupported
+	batch     *batcher // nil when micro-batching is disabled
+	featBatch *batcher // features-mode collector; nil unless batching and feat are both on
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -72,16 +73,25 @@ type Server struct {
 // Option configures optional server behaviour.
 type Option func(*Server)
 
-// WithBatching enables the micro-batching layer for classify-raw requests:
+// WithBatching enables the micro-batching layer for classify requests:
 // concurrent requests from any number of connections are coalesced into one
-// batched forward pass (see BatchConfig).
+// batched forward pass (see BatchConfig). Raw-image and feature-tail
+// requests collect into separate batches (they run different networks); the
+// feature collector exists only when the server has a tail.
 func WithBatching(cfg BatchConfig) Option {
 	return func(s *Server) {
-		s.batch = newBatcher(cfg, func(x *tensor.Tensor) *tensor.Tensor {
-			return s.raw.Logits(x, false)
-		})
+		s.batch = newBatcher(cfg, s.rawLogits)
+		if s.feat != nil {
+			s.featBatch = newBatcher(cfg, s.featLogits)
+		}
 	}
 }
+
+// rawLogits runs the raw-image classifier on an NCHW batch.
+func (s *Server) rawLogits(x *tensor.Tensor) *tensor.Tensor { return s.raw.Logits(x, false) }
+
+// featLogits runs the partitioned-network tail on an NCHW feature batch.
+func (s *Server) featLogits(x *tensor.Tensor) *tensor.Tensor { return s.feat.Logits(x, false) }
 
 // NewServer builds a server around a raw-image classifier. tail may be nil.
 func NewServer(raw *models.Classifier, tail *Tail, opts ...Option) (*Server, error) {
@@ -144,6 +154,10 @@ func (s *Server) Stats() Stats {
 		st.Batches = s.batch.batches.Load()
 		st.BatchedRequests = s.batch.batchedReqs.Load()
 	}
+	if s.featBatch != nil {
+		st.Batches += s.featBatch.batches.Load()
+		st.BatchedRequests += s.featBatch.batchedReqs.Load()
+	}
 	return st
 }
 
@@ -166,6 +180,9 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	if s.batch != nil {
 		s.batch.close() // unblocks handlers parked in batcher.classify
+	}
+	if s.featBatch != nil {
+		s.featBatch.close()
 	}
 	s.wg.Wait()
 	return nil
@@ -206,8 +223,12 @@ func (s *Server) handleConn(conn net.Conn) {
 	defer s.removeConn(conn)
 	// Responses from concurrent dispatches interleave on the connection in
 	// completion order; frame IDs let the pipelined edge client sort them
-	// out. The mutex keeps each frame write atomic.
+	// out. The mutex keeps each frame write atomic and guards the broken
+	// latch: after the first write failure the connection is closed and
+	// every later in-flight dispatch becomes a no-op — without the latch
+	// each would recount the error and re-close the dead connection.
 	var wmu sync.Mutex
+	writeBroken := false
 	// inflight bounds concurrent dispatches per connection: a client that
 	// pipelines faster than the collector drains must block in ReadFrame
 	// (TCP backpressure), not grow an unbounded goroutine/tensor backlog.
@@ -217,9 +238,12 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	writeResp := func(resp protocol.Frame) {
 		wmu.Lock()
-		err := protocol.WriteFrame(conn, resp)
-		wmu.Unlock()
-		if err != nil {
+		defer wmu.Unlock()
+		if writeBroken {
+			return
+		}
+		if err := protocol.WriteFrame(conn, resp); err != nil {
+			writeBroken = true
 			s.errorCount.Add(1)
 			conn.Close() // fail the read loop too; the peer is gone
 			return
@@ -235,7 +259,9 @@ func (s *Server) handleConn(conn net.Conn) {
 			return // malformed stream or peer gone: drop the connection
 		}
 		s.bytesIn.Add(uint64(len(f.Payload)))
-		if s.batch != nil && f.Type == protocol.MsgClassifyRaw {
+		collected := f.Type == protocol.MsgClassifyRaw && s.batch != nil ||
+			f.Type == protocol.MsgClassifyFeat && s.featBatch != nil
+		if collected {
 			// Keep reading while this request sits in the collector, so
 			// one pipelined connection can fill a batch by itself. Safe to
 			// grow the wait group here: this handler's own entry keeps the
@@ -261,20 +287,24 @@ func (s *Server) dispatch(f protocol.Frame) protocol.Frame {
 		return protocol.Frame{Type: protocol.MsgPong, ID: f.ID}
 	case protocol.MsgClassifyRaw:
 		if s.batch != nil {
-			return s.classifyBatched(f)
+			return s.classifyCollected(s.batch, f)
 		}
-		return s.classify(f, func(x *tensor.Tensor) *tensor.Tensor {
-			return s.raw.Logits(x, false)
-		})
+		return s.classify(f, s.rawLogits)
 	case protocol.MsgClassifyFeat:
 		if s.feat == nil {
 			return errorFrame(f.ID, "features mode not supported by this server")
 		}
-		return s.classify(f, func(x *tensor.Tensor) *tensor.Tensor {
-			return s.feat.Logits(x, false)
-		})
+		if s.featBatch != nil {
+			return s.classifyCollected(s.featBatch, f)
+		}
+		return s.classify(f, s.featLogits)
 	case protocol.MsgClassifyBatch:
-		return s.classifyBatchFrame(f)
+		return s.classifyBatchFrame(f, s.rawLogits)
+	case protocol.MsgClassifyFeatBatch:
+		if s.feat == nil {
+			return errorFrame(f.ID, "features mode not supported by this server")
+		}
+		return s.classifyBatchFrame(f, s.featLogits)
 	default:
 		return errorFrame(f.ID, fmt.Sprintf("unsupported message type %s", f.Type))
 	}
@@ -304,9 +334,9 @@ func (s *Server) classify(f protocol.Frame, logits func(*tensor.Tensor) *tensor.
 	}
 }
 
-// classifyBatched routes one classify-raw request through the micro-batch
+// classifyCollected routes one single-instance request through a micro-batch
 // collector, which fuses it with concurrent requests from other connections.
-func (s *Server) classifyBatched(f protocol.Frame) protocol.Frame {
+func (s *Server) classifyCollected(b *batcher, f protocol.Frame) protocol.Frame {
 	t, err := protocol.DecodeTensor(f.Payload)
 	if err != nil {
 		s.errorCount.Add(1)
@@ -316,7 +346,7 @@ func (s *Server) classifyBatched(f protocol.Frame) protocol.Frame {
 		s.errorCount.Add(1)
 		return errorFrame(f.ID, fmt.Sprintf("expected CHW tensor, got rank %d", t.Dims()))
 	}
-	pred, conf, err := s.batch.classify(t)
+	pred, conf, err := b.classify(t)
 	if err != nil {
 		s.errorCount.Add(1)
 		return errorFrame(f.ID, err.Error())
@@ -328,10 +358,10 @@ func (s *Server) classifyBatched(f protocol.Frame) protocol.Frame {
 	}
 }
 
-// classifyBatchFrame serves a client-assembled batch (MsgClassifyBatch): the
-// payload already holds an NCHW tensor, so it runs as one forward pass
-// directly, bypassing the collector.
-func (s *Server) classifyBatchFrame(f protocol.Frame) protocol.Frame {
+// classifyBatchFrame serves a client-assembled batch (MsgClassifyBatch or
+// MsgClassifyFeatBatch): the payload already holds an NCHW tensor, so it
+// runs as one forward pass directly, bypassing the collector.
+func (s *Server) classifyBatchFrame(f protocol.Frame, logits func(*tensor.Tensor) *tensor.Tensor) protocol.Frame {
 	t, err := protocol.DecodeTensor(f.Payload)
 	if err != nil {
 		s.errorCount.Add(1)
@@ -341,9 +371,7 @@ func (s *Server) classifyBatchFrame(f protocol.Frame) protocol.Frame {
 		s.errorCount.Add(1)
 		return errorFrame(f.ID, fmt.Sprintf("expected NCHW tensor, got rank %d", t.Dims()))
 	}
-	out, err := safeLogits(func(x *tensor.Tensor) *tensor.Tensor {
-		return s.raw.Logits(x, false)
-	}, t)
+	out, err := safeLogits(logits, t)
 	if err != nil {
 		s.errorCount.Add(1)
 		return errorFrame(f.ID, err.Error())

@@ -1,6 +1,8 @@
 package cloud
 
 import (
+	"bytes"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -265,6 +267,203 @@ func TestNewServerValidation(t *testing.T) {
 	if _, err := NewServer(nil, nil); err == nil {
 		t.Fatal("nil classifier accepted")
 	}
+}
+
+// deadWriteConn is a net.Conn whose reads replay a canned request stream and
+// whose writes always fail — the shape of a peer that vanished mid-pipeline.
+type deadWriteConn struct {
+	r      *bytes.Reader
+	mu     sync.Mutex
+	writes int
+	closes int
+}
+
+func (c *deadWriteConn) Read(p []byte) (int, error) { return c.r.Read(p) }
+func (c *deadWriteConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.writes++
+	return 0, io.ErrClosedPipe
+}
+func (c *deadWriteConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closes++
+	return nil
+}
+func (c *deadWriteConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (c *deadWriteConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (c *deadWriteConn) SetDeadline(t time.Time) error      { return nil }
+func (c *deadWriteConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *deadWriteConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// TestHandleConnLatchesFirstWriteFailure is the regression test for the
+// writeResp error latch: several requests answered onto a dead connection
+// must count ONE error and attempt ONE write and close, not one per
+// in-flight dispatch.
+func TestHandleConnLatchesFirstWriteFailure(t *testing.T) {
+	s, err := NewServer(testClassifier(t, 30), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		if err := protocol.WriteFrame(&buf, protocol.Frame{Type: protocol.MsgPing, ID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn := &deadWriteConn{r: bytes.NewReader(buf.Bytes())}
+	s.active.Add(1) // handleConn's removeConn decrements it
+	s.wg.Add(1)
+	s.handleConn(conn)
+	if got := s.errorCount.Load(); got != 1 {
+		t.Fatalf("Errors = %d after a dead connection, want 1 (latched)", got)
+	}
+	if conn.writes != 1 {
+		t.Fatalf("server attempted %d writes on a dead connection, want 1", conn.writes)
+	}
+	// One close from the latch plus one from removeConn's normal teardown.
+	if conn.closes != 2 {
+		t.Fatalf("connection closed %d times, want 2", conn.closes)
+	}
+}
+
+// featTestTail builds a small deterministic feature tail.
+func featTestTail(t *testing.T, seed int64, inFeat, classes int) *Tail {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	return &Tail{Body: nn.Identity{}, Exit: models.NewExit(rng, "tailtest", inFeat, classes)}
+}
+
+// TestFeatureBatchFrameMatchesSerial ships a client-assembled feature batch
+// (MsgClassifyFeatBatch) and checks it bitwise against per-feature
+// ClassifyFeatures calls.
+func TestFeatureBatchFrameMatchesSerial(t *testing.T) {
+	tail := featTestTail(t, 31, 8, 5)
+	s := startServer(t, testClassifier(t, 31), tail)
+	client, err := edge.DialCloud(s.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	rng := rand.New(rand.NewSource(32))
+	feats := make([]*tensor.Tensor, 6)
+	for i := range feats {
+		feats[i] = tensor.Randn(rng, 1, 8, 3, 3)
+	}
+	preds, confs, err := client.ClassifyFeaturesBatch(feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, feat := range feats {
+		pred, conf, err := client.ClassifyFeatures(feat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if preds[i] != pred || confs[i] != conf {
+			t.Fatalf("feature %d: batch %d/%v, single %d/%v (must be bitwise identical)",
+				i, preds[i], confs[i], pred, conf)
+		}
+	}
+}
+
+// TestFeatureBatchFrameUnsupported: a server with no tail must answer the
+// feature batch frame with an error frame, not kill the connection.
+func TestFeatureBatchFrameUnsupported(t *testing.T) {
+	s := startServer(t, testClassifier(t, 33), nil)
+	client, err := edge.DialCloud(s.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	rng := rand.New(rand.NewSource(34))
+	if _, _, err := client.ClassifyFeaturesBatch([]*tensor.Tensor{tensor.Randn(rng, 1, 8, 3, 3)}); err == nil {
+		t.Fatal("tail-less server accepted a feature batch")
+	}
+	// The connection survives the error frame.
+	if _, _, err := client.Classify(tensor.Randn(rng, 1, 3, 8, 8)); err != nil {
+		t.Fatalf("connection dead after feature batch rejection: %v", err)
+	}
+}
+
+// TestFeatureModeThroughCollector: with batching enabled on a server that
+// has a tail, concurrent single-feature requests coalesce through their own
+// collector and stay bitwise identical to the unbatched feature path.
+func TestFeatureModeThroughCollector(t *testing.T) {
+	cls := testClassifier(t, 35)
+	tail := featTestTail(t, 35, 8, 5)
+	plain := startServer(t, cls, tail)
+	batched, err := NewServer(cls, tail,
+		WithBatching(BatchConfig{MaxBatch: 8, Linger: 100 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := batched.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { batched.Close() })
+
+	rng := rand.New(rand.NewSource(36))
+	const n = 8
+	feats := make([]*tensor.Tensor, n)
+	for i := range feats {
+		feats[i] = tensor.Randn(rng, 1, 8, 3, 3)
+	}
+	ref, err := edge.DialCloud(plain.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	wantPred := make([]int, n)
+	wantConf := make([]float64, n)
+	for i, f := range feats {
+		wantPred[i], wantConf[i], err = ref.ClassifyFeatures(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	client, err := edge.DialCloud(batched.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	gotPred := make([]int, n)
+	gotConf := make([]float64, n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pred, conf, err := client.ClassifyFeatures(feats[i])
+			if err != nil {
+				errs <- err
+				return
+			}
+			gotPred[i], gotConf[i] = pred, conf
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i := range feats {
+		if gotPred[i] != wantPred[i] || gotConf[i] != wantConf[i] {
+			t.Fatalf("feature %d: collector %d/%v, unbatched %d/%v (must be bitwise identical)",
+				i, gotPred[i], gotConf[i], wantPred[i], wantConf[i])
+		}
+	}
+	st := batched.Stats()
+	if st.BatchedRequests != n {
+		t.Fatalf("feature collector served %d requests, want %d", st.BatchedRequests, n)
+	}
+	if st.Batches >= n {
+		t.Fatalf("feature requests did not coalesce: %d batches for %d requests", st.Batches, n)
+	}
+	t.Logf("feature mode: %d requests in %d forwards", st.BatchedRequests, st.Batches)
 }
 
 func TestServerStatsByteCounters(t *testing.T) {

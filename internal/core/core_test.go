@@ -447,6 +447,72 @@ func TestInferCloudFailureFallsBack(t *testing.T) {
 	}
 }
 
+// TestInferBatchedOneCallAndPartialFailure pins the aggregated offload
+// contract: all complex instances of a batch reach the cloud in ONE
+// CloudBatchFunc call, and per-instance errors fail only their own slot —
+// the rest of the batch still exits at the cloud.
+func TestInferBatchedOneCallAndPartialFailure(t *testing.T) {
+	s := testData(t, 21)
+	m := buildA(t, 21, 6)
+	if err := TrainMainBlock(m, s.Train, quickCfg(6, 21)); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := s.Test.Batch([]int{0, 1, 2, 3, 4, 5})
+
+	calls := 0
+	oddFails := func(sub *tensor.Tensor) ([]int, []float64, []error, error) {
+		calls++
+		n := sub.Dim(0)
+		preds := make([]int, n)
+		confs := make([]float64, n)
+		errs := make([]error, n)
+		for i := 0; i < n; i++ {
+			if i%2 == 1 {
+				errs[i] = errors.New("slot dropped")
+				continue
+			}
+			preds[i], confs[i] = 3, 1.0
+		}
+		return preds, confs, errs, nil
+	}
+	dec, err := m.InferBatched(x, Policy{Threshold: 0, UseCloud: true}, oddFails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("cloud batch called %d times for one input batch, want 1", calls)
+	}
+	for i, d := range dec {
+		if i%2 == 0 {
+			if d.Exit != ExitCloud || d.Pred != 3 || d.CloudFailed {
+				t.Fatalf("instance %d should exit at cloud, got %+v", i, d)
+			}
+		} else {
+			if d.Exit == ExitCloud || !d.CloudFailed {
+				t.Fatalf("instance %d should fall back to the edge, got %+v", i, d)
+			}
+			if d.Pred != d.MainPred {
+				t.Fatalf("instance %d fallback pred %d, want main pred %d (no Dict)", i, d.Pred, d.MainPred)
+			}
+		}
+	}
+
+	// A short result slice is a malformed response: the whole batch falls
+	// back rather than misassigning predictions.
+	short := func(sub *tensor.Tensor) ([]int, []float64, []error, error) {
+		return []int{1}, []float64{1}, nil, nil
+	}
+	dec, err = m.InferBatched(x, Policy{Threshold: 0, UseCloud: true}, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range dec {
+		if d.Exit == ExitCloud || !d.CloudFailed {
+			t.Fatalf("instance %d trusted a short cloud response: %+v", i, d)
+		}
+	}
+}
+
 func TestInferExtensionRoutingRespectsDict(t *testing.T) {
 	s := testData(t, 17)
 	m := buildA(t, 17, 6)

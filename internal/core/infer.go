@@ -50,6 +50,30 @@ type Decision struct {
 // predicted class and its confidence.
 type CloudFunc func(x *tensor.Tensor) (pred int, conf float64, err error)
 
+// CloudBatchFunc classifies a stacked [N,C,H,W] batch of complex instances
+// on the cloud AI in one round trip. preds and confs are indexed by batch
+// position. errs, when non-nil, carries per-instance failures: errs[i] != nil
+// means instance i alone falls back to the edge. A non-nil err fails every
+// instance of the batch (the whole upload was lost).
+type CloudBatchFunc func(x *tensor.Tensor) (preds []int, confs []float64, errs []error, err error)
+
+// SerialOffload adapts a per-instance CloudFunc into a CloudBatchFunc that
+// issues one round trip per instance — the legacy offload pattern, kept for
+// oracle tests and custom per-instance clouds. Real transports should
+// provide a native batch call instead (see edge.CloudClient.ClassifyBatch).
+func SerialOffload(cloud CloudFunc) CloudBatchFunc {
+	return func(x *tensor.Tensor) ([]int, []float64, []error, error) {
+		n := x.Dim(0)
+		preds := make([]int, n)
+		confs := make([]float64, n)
+		errs := make([]error, n)
+		for i := 0; i < n; i++ {
+			preds[i], confs[i], errs[i] = cloud(x.Sample(i))
+		}
+		return preds, confs, errs, nil
+	}
+}
+
 // Policy configures Algorithm 2.
 type Policy struct {
 	// Threshold is the entropy above which an instance is "complex" and is
@@ -68,7 +92,27 @@ type Policy struct {
 // predicted as hard classes take the extension path, with the more confident
 // of the two edge exits winning; everything else exits at the main block.
 // A failed cloud call falls back to the edge decision for that instance.
+//
+// The per-instance CloudFunc is offloaded serially (one round trip per
+// complex instance); transports with a native batch call should go through
+// InferBatched instead, which uploads all complex instances of the batch in
+// a single round trip.
 func (m *MEANet) Infer(x *tensor.Tensor, pol Policy, cloud CloudFunc) ([]Decision, error) {
+	var batch CloudBatchFunc
+	if cloud != nil {
+		batch = SerialOffload(cloud)
+	}
+	return m.InferBatched(x, pol, batch)
+}
+
+// InferBatched is Infer with aggregated cloud offload: the cloud-qualifying
+// (high-entropy) instances of the batch are gathered — exactly like the
+// extension path gathers hard instances — and shipped to the cloud in at
+// most ONE CloudBatchFunc call per input batch. Instances whose slot of the
+// batched call failed (or the whole call, if it errored) fall back to the
+// edge decision individually; batching never turns a partial failure into a
+// whole-batch error.
+func (m *MEANet) InferBatched(x *tensor.Tensor, pol Policy, cloud CloudBatchFunc) ([]Decision, error) {
 	if x.Dims() != 4 {
 		return nil, fmt.Errorf("core: Infer expects NCHW input, got %v", x.Shape())
 	}
@@ -81,7 +125,7 @@ func (m *MEANet) Infer(x *tensor.Tensor, pol Policy, cloud CloudFunc) ([]Decisio
 		detectorFlags = pol.Detector.Predict(feat)
 	}
 	decisions := make([]Decision, n)
-	var hardIdx []int
+	var cloudIdx []int
 	for i := 0; i < n; i++ {
 		row := probs.Row(i)
 		pred1 := argmax(row)
@@ -91,17 +135,39 @@ func (m *MEANet) Infer(x *tensor.Tensor, pol Policy, cloud CloudFunc) ([]Decisio
 		d.Exit = ExitMain
 		d.Entropy = tensor.Entropy(row)
 		d.ConfMain = float64(row[pred1])
-
 		if pol.UseCloud && cloud != nil && d.Entropy > pol.Threshold {
-			pred, _, err := cloud(x.Sample(i))
-			if err == nil {
-				d.Pred = pred
-				d.Exit = ExitCloud
+			cloudIdx = append(cloudIdx, i)
+		}
+	}
+
+	if len(cloudIdx) > 0 {
+		preds, confs, errs, err := cloud(gatherSamples(x, cloudIdx))
+		if err == nil && (len(preds) != len(cloudIdx) || len(confs) != len(cloudIdx)) {
+			err = fmt.Errorf("core: cloud batch returned %d/%d results for %d instances",
+				len(preds), len(confs), len(cloudIdx))
+		}
+		if err == nil && errs != nil && len(errs) != len(cloudIdx) {
+			err = fmt.Errorf("core: cloud batch returned %d errors for %d instances",
+				len(errs), len(cloudIdx))
+		}
+		for bi, i := range cloudIdx {
+			d := &decisions[i]
+			if err != nil || (errs != nil && errs[bi] != nil) {
+				d.CloudFailed = true // fall through to the edge path
 				continue
 			}
-			d.CloudFailed = true // fall through to the edge path
+			d.Pred = preds[bi]
+			d.Exit = ExitCloud
 		}
-		isHard := m.Dict != nil && m.Dict.IsHard(pred1)
+	}
+
+	var hardIdx []int
+	for i := 0; i < n; i++ {
+		d := &decisions[i]
+		if d.Exit == ExitCloud {
+			continue
+		}
+		isHard := m.Dict != nil && m.Dict.IsHard(d.MainPred)
 		if detectorFlags != nil {
 			isHard = detectorFlags[i]
 		}

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/meanet/meanet/internal/core"
 	"github.com/meanet/meanet/internal/models"
 	"github.com/meanet/meanet/internal/netsim"
 	"github.com/meanet/meanet/internal/protocol"
@@ -22,8 +23,65 @@ import (
 type CloudClient interface {
 	// Classify sends one CHW image and returns the cloud's prediction.
 	Classify(img *tensor.Tensor) (pred int, conf float64, err error)
+	// ClassifyBatch sends same-shaped CHW images in ONE round trip and
+	// returns per-image predictions. An error fails the whole call; callers
+	// that need per-instance fallback map it onto every image (see
+	// BatchOffload).
+	ClassifyBatch(imgs []*tensor.Tensor) (preds []int, confs []float64, err error)
 	// Close releases the transport.
 	Close() error
+}
+
+// stackedBatchClient is the zero-copy fast path of BatchOffload: both
+// built-in clients take the already-stacked NCHW tensor directly, skipping
+// the split-into-views / re-stack round trip of the interface call.
+type stackedBatchClient interface {
+	classifyStacked(batch *tensor.Tensor) (preds []int, confs []float64, err error)
+}
+
+// BatchOffload adapts a CloudClient's batch call into the core.CloudBatchFunc
+// that InferBatched consumes: the stacked cloud-qualifying sub-batch goes out
+// as one ClassifyBatch round trip, and a transport error is spread onto every
+// instance so each falls back to the edge individually.
+func BatchOffload(c CloudClient) core.CloudBatchFunc {
+	return func(sub *tensor.Tensor) ([]int, []float64, []error, error) {
+		var preds []int
+		var confs []float64
+		var err error
+		if sc, ok := c.(stackedBatchClient); ok {
+			preds, confs, err = sc.classifyStacked(sub)
+		} else {
+			imgs := make([]*tensor.Tensor, sub.Dim(0))
+			for i := range imgs {
+				imgs[i] = sub.Sample(i)
+			}
+			preds, confs, err = c.ClassifyBatch(imgs)
+		}
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("edge: cloud classify batch: %w", err)
+		}
+		return preds, confs, nil, nil
+	}
+}
+
+// stackCHW validates same-shaped CHW tensors and stacks them into one NCHW
+// batch (the shared front half of every client-side batch call).
+func stackCHW(ts []*tensor.Tensor, name string) (*tensor.Tensor, error) {
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("edge: %s with no tensors", name)
+	}
+	shape := ts[0].Shape()
+	if len(shape) != 3 {
+		return nil, fmt.Errorf("edge: %s expects CHW tensors, got shape %v", name, shape)
+	}
+	batch := tensor.New(append([]int{len(ts)}, shape...)...)
+	for i, img := range ts {
+		if !img.SameShape(ts[0]) {
+			return nil, fmt.Errorf("edge: %s tensor %d has shape %v, want %v", name, i, img.Shape(), shape)
+		}
+		copy(batch.Sample(i).Data(), img.Data())
+	}
+	return batch, nil
 }
 
 // DialConfig configures the TCP cloud client.
@@ -249,21 +307,41 @@ func (c *TCPClient) roundTrip(msgType protocol.MsgType, t *tensor.Tensor) (int, 
 // frame, one forward pass on the server, one response — the cheapest way to
 // offload a burst the edge has already accumulated locally.
 func (c *TCPClient) ClassifyBatch(imgs []*tensor.Tensor) ([]int, []float64, error) {
-	if len(imgs) == 0 {
-		return nil, nil, errors.New("edge: ClassifyBatch with no images")
+	return c.batchRoundTrip(protocol.MsgClassifyBatch, "ClassifyBatch", imgs)
+}
+
+// ClassifyFeaturesBatch is ClassifyBatch for the partitioned-network mode
+// (§III-C "sending features"): same-shaped CHW feature tensors go out as one
+// MsgClassifyFeatBatch frame and run through the server's feature tail in a
+// single forward pass.
+func (c *TCPClient) ClassifyFeaturesBatch(feats []*tensor.Tensor) ([]int, []float64, error) {
+	return c.batchRoundTrip(protocol.MsgClassifyFeatBatch, "ClassifyFeaturesBatch", feats)
+}
+
+// classifyStacked sends an already-stacked NCHW batch without re-copying it
+// (the BatchOffload fast path).
+func (c *TCPClient) classifyStacked(batch *tensor.Tensor) ([]int, []float64, error) {
+	if batch.Dims() != 4 {
+		return nil, nil, fmt.Errorf("edge: classifyStacked expects an NCHW batch, got shape %v", batch.Shape())
 	}
-	shape := imgs[0].Shape()
-	if len(shape) != 3 {
-		return nil, nil, fmt.Errorf("edge: ClassifyBatch expects CHW images, got shape %v", shape)
+	return c.stackedRoundTrip(protocol.MsgClassifyBatch, batch)
+}
+
+// batchRoundTrip stacks same-shaped CHW tensors into one NCHW frame of the
+// given type and decodes the per-instance result batch.
+func (c *TCPClient) batchRoundTrip(msgType protocol.MsgType, name string, ts []*tensor.Tensor) ([]int, []float64, error) {
+	batch, err := stackCHW(ts, name)
+	if err != nil {
+		return nil, nil, err
 	}
-	batch := tensor.New(append([]int{len(imgs)}, shape...)...)
-	for i, img := range imgs {
-		if !img.SameShape(imgs[0]) {
-			return nil, nil, fmt.Errorf("edge: ClassifyBatch image %d has shape %v, want %v", i, img.Shape(), shape)
-		}
-		copy(batch.Sample(i).Data(), img.Data())
-	}
-	id, ch, err := c.send(protocol.MsgClassifyBatch, protocol.EncodeTensor(batch))
+	return c.stackedRoundTrip(msgType, batch)
+}
+
+// stackedRoundTrip ships one NCHW tensor as a batch classify frame and
+// decodes the per-instance result batch.
+func (c *TCPClient) stackedRoundTrip(msgType protocol.MsgType, batch *tensor.Tensor) ([]int, []float64, error) {
+	n := batch.Dim(0)
+	id, ch, err := c.send(msgType, protocol.EncodeTensor(batch))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -277,8 +355,8 @@ func (c *TCPClient) ClassifyBatch(imgs []*tensor.Tensor) ([]int, []float64, erro
 		if err != nil {
 			return nil, nil, err
 		}
-		if len(rs) != len(imgs) {
-			return nil, nil, fmt.Errorf("edge: batch response has %d results for %d images", len(rs), len(imgs))
+		if len(rs) != n {
+			return nil, nil, fmt.Errorf("edge: batch response has %d results for %d tensors", len(rs), n)
 		}
 		preds := make([]int, len(rs))
 		confs := make([]float64, len(rs))
@@ -337,24 +415,56 @@ type InProcClient struct {
 
 var _ CloudClient = (*InProcClient)(nil)
 
-// Classify runs the classifier directly.
+// Classify runs the classifier directly (a 1-image batch through the same
+// post-processing as the batched path, so the two agree bitwise).
 func (c *InProcClient) Classify(img *tensor.Tensor) (int, float64, error) {
-	if c.Model == nil {
-		return 0, 0, errors.New("edge: in-process client has no model")
-	}
 	if img.Dims() != 3 {
 		return 0, 0, fmt.Errorf("edge: Classify expects a CHW image, got shape %v", img.Shape())
 	}
-	batch := img.Reshape(append([]int{1}, img.Shape()...)...)
-	logits := c.Model.Logits(batch, false)
-	probs := tensor.SoftmaxRow(logits.Row(0))
-	pred := 0
-	for i, v := range probs {
-		if v > probs[pred] {
-			pred = i
-		}
+	preds, confs, err := c.classifyStacked(img.Reshape(append([]int{1}, img.Shape()...)...))
+	if err != nil {
+		return 0, 0, err
 	}
-	return pred, float64(probs[pred]), nil
+	return preds[0], confs[0], nil
+}
+
+// ClassifyBatch stacks the images and runs ONE forward pass — the in-process
+// analogue of the batched offload frame, so simulations exercise the same
+// gather-then-batch code path as the TCP transport. Predictions are bitwise
+// identical to per-image Classify calls (the tensor kernels accumulate in
+// the same order for every batch size).
+func (c *InProcClient) ClassifyBatch(imgs []*tensor.Tensor) ([]int, []float64, error) {
+	batch, err := stackCHW(imgs, "ClassifyBatch")
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.classifyStacked(batch)
+}
+
+// classifyStacked classifies an already-stacked NCHW batch without
+// re-copying it (the BatchOffload fast path).
+func (c *InProcClient) classifyStacked(batch *tensor.Tensor) ([]int, []float64, error) {
+	if c.Model == nil {
+		return nil, nil, errors.New("edge: in-process client has no model")
+	}
+	if batch.Dims() != 4 {
+		return nil, nil, fmt.Errorf("edge: classifyStacked expects an NCHW batch, got shape %v", batch.Shape())
+	}
+	n := batch.Dim(0)
+	logits := c.Model.Logits(batch, false)
+	preds := make([]int, n)
+	confs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		probs := tensor.SoftmaxRow(logits.Row(i))
+		pred := 0
+		for j, v := range probs {
+			if v > probs[pred] {
+				pred = j
+			}
+		}
+		preds[i], confs[i] = pred, float64(probs[pred])
+	}
+	return preds, confs, nil
 }
 
 // Close is a no-op.

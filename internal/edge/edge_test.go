@@ -170,14 +170,26 @@ func TestRuntimeCloudAccounting(t *testing.T) {
 	}
 }
 
-type failingClient struct{ calls int }
+type failingClient struct {
+	calls      int // per-instance round trips
+	batchCalls int // batched round trips
+}
 
 func (f *failingClient) Classify(*tensor.Tensor) (int, float64, error) {
 	f.calls++
 	return 0, 0, errors.New("cloud down")
 }
+func (f *failingClient) ClassifyBatch([]*tensor.Tensor) ([]int, []float64, error) {
+	f.batchCalls++
+	return nil, nil, errors.New("cloud down")
+}
 func (f *failingClient) Close() error { return nil }
 
+// TestRuntimeCloudFailureFallback pins the partial-failure contract of the
+// batched offload path: a cloud that errors on the ONE batched call must
+// yield per-instance CloudFailed decisions with edge-fallback predictions —
+// never a whole-batch Classify error — and every instance still pays its
+// upload bytes and energy (the attempt transmitted).
 func TestRuntimeCloudFailureFallback(t *testing.T) {
 	m, s := tinyMEANet(t, 12)
 	fc := &failingClient{}
@@ -190,25 +202,138 @@ func TestRuntimeCloudFailureFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, d := range dec {
+	// Edge-only reference: the fallback predictions must match what the edge
+	// would have decided with no cloud at all.
+	edgeOnly, err := m.Infer(x, core.Policy{UseCloud: false}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range dec {
 		if d.Exit == core.ExitCloud {
 			t.Fatal("failed cloud still produced cloud exit")
+		}
+		if !d.CloudFailed {
+			t.Fatalf("instance %d missing CloudFailed", i)
+		}
+		if d.Pred != edgeOnly[i].Pred || d.Exit != edgeOnly[i].Exit {
+			t.Fatalf("instance %d fallback %d/%v, edge-only %d/%v",
+				i, d.Pred, d.Exit, edgeOnly[i].Pred, edgeOnly[i].Exit)
 		}
 	}
 	rep := rt.Report()
 	if rep.CloudFailures != 3 {
 		t.Fatalf("cloud failures %d, want 3", rep.CloudFailures)
 	}
-	if fc.calls != 3 {
-		t.Fatalf("cloud called %d times, want 3", fc.calls)
+	// The whole batch failed in ONE round trip — not three serial ones.
+	if fc.batchCalls != 1 || fc.calls != 0 {
+		t.Fatalf("cloud saw %d batch + %d serial calls, want 1 + 0", fc.batchCalls, fc.calls)
 	}
-	// Failed uploads still cost transmission energy.
+	// Failed uploads still cost transmission bytes and energy per instance.
+	if rep.BytesSent != 3*testCost().ImageBytes {
+		t.Fatalf("bytes sent %d, want %d", rep.BytesSent, 3*testCost().ImageBytes)
+	}
 	if rep.Energy.CommJ <= 0 {
 		t.Fatal("failed uploads should still cost communication energy")
 	}
 	// And every instance was still classified at the edge.
 	if rep.Exits[core.ExitMain]+rep.Exits[core.ExitExtension] != 3 {
 		t.Fatalf("fallback exits wrong: %+v", rep.Exits)
+	}
+}
+
+// countingClient wraps InProcClient and counts round trips, proving the
+// runtime issues at most one cloud call per input batch.
+type countingClient struct {
+	InProcClient
+	calls      int
+	batchCalls int
+	instances  int
+}
+
+func (c *countingClient) Classify(img *tensor.Tensor) (int, float64, error) {
+	c.calls++
+	return c.InProcClient.Classify(img)
+}
+
+func (c *countingClient) ClassifyBatch(imgs []*tensor.Tensor) ([]int, []float64, error) {
+	c.batchCalls++
+	c.instances += len(imgs)
+	return c.InProcClient.ClassifyBatch(imgs)
+}
+
+// classifyStacked intercepts the zero-copy fast path BatchOffload prefers
+// (promoted from the embedded InProcClient otherwise).
+func (c *countingClient) classifyStacked(batch *tensor.Tensor) ([]int, []float64, error) {
+	c.batchCalls++
+	c.instances += batch.Dim(0)
+	return c.InProcClient.classifyStacked(batch)
+}
+
+// TestRuntimeBatchedOffloadOneRoundTrip: all complex instances of a batch
+// share one ClassifyBatch call, and the predictions are bitwise identical to
+// the serial per-instance path.
+func TestRuntimeBatchedOffloadOneRoundTrip(t *testing.T) {
+	m, s := tinyMEANet(t, 17)
+	cc := &countingClient{InProcClient: InProcClient{Model: tinyCloud(t, 17, 6, 2)}}
+	rt, err := NewRuntime(m, core.Policy{Threshold: 0, UseCloud: true}, cc, testCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := s.Test.Batch([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	dec, err := rt.Classify(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.batchCalls != 1 || cc.calls != 0 {
+		t.Fatalf("one batch should cost one round trip, saw %d batch + %d serial", cc.batchCalls, cc.calls)
+	}
+	if cc.instances != 8 {
+		t.Fatalf("batched call carried %d instances, want 8", cc.instances)
+	}
+	// Serial reference: per-instance offload through the same model.
+	serial, err := m.Infer(x, core.Policy{Threshold: 0, UseCloud: true},
+		func(img *tensor.Tensor) (int, float64, error) { return cc.InProcClient.Classify(img) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dec {
+		if dec[i].Pred != serial[i].Pred || dec[i].Exit != serial[i].Exit {
+			t.Fatalf("instance %d: batched %d/%v, serial %d/%v",
+				i, dec[i].Pred, dec[i].Exit, serial[i].Pred, serial[i].Exit)
+		}
+	}
+}
+
+// TestInProcClassifyBatchBitwise: the in-process batch call must agree
+// bitwise with per-image Classify (same kernels, same accumulation order).
+func TestInProcClassifyBatchBitwise(t *testing.T) {
+	client := &InProcClient{Model: tinyCloud(t, 18, 6, 2)}
+	rng := rand.New(rand.NewSource(18))
+	imgs := make([]*tensor.Tensor, 5)
+	for i := range imgs {
+		imgs[i] = tensor.Randn(rng, 1, 2, 8, 8)
+	}
+	preds, confs, err := client.ClassifyBatch(imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, img := range imgs {
+		pred, conf, err := client.Classify(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if preds[i] != pred || confs[i] != conf {
+			t.Fatalf("image %d: batch %d/%v, single %d/%v (must be bitwise identical)",
+				i, preds[i], confs[i], pred, conf)
+		}
+	}
+	if _, _, err := client.ClassifyBatch(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, _, err := client.ClassifyBatch([]*tensor.Tensor{
+		tensor.Randn(rng, 1, 2, 8, 8), tensor.Randn(rng, 1, 2, 4, 4),
+	}); err == nil {
+		t.Fatal("mixed-shape batch accepted")
 	}
 }
 
@@ -254,6 +379,39 @@ func TestReportCloudFractionEmpty(t *testing.T) {
 	var rep Report
 	if rep.CloudFraction() != 0 {
 		t.Fatal("empty report should have beta 0")
+	}
+}
+
+// TestRuntimeSetThresholdClassifyRace hammers SetThreshold (and the Policy
+// getter) against concurrent Classify calls. Classify must snapshot the
+// whole policy under the runtime mutex before wiring the cloud path; the
+// race detector (CI runs this suite with -race) catches any unlocked read
+// of r.policy.
+func TestRuntimeSetThresholdClassifyRace(t *testing.T) {
+	m, s := tinyMEANet(t, 16)
+	cloud := &InProcClient{Model: tinyCloud(t, 16, 6, 2)}
+	rt, err := NewRuntime(m, core.Policy{Threshold: 0.5, UseCloud: true}, cloud, testCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := s.Test.Batch([]int{0, 1, 2, 3})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			rt.SetThreshold(float64(i%3) * 0.5)
+			_ = rt.Policy()
+		}
+	}()
+	for i := 0; i < 25; i++ {
+		if _, err := rt.Classify(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	rep := rt.Report()
+	if rep.N != 25*4 {
+		t.Fatalf("accounting lost instances under concurrent threshold updates: N=%d", rep.N)
 	}
 }
 

@@ -2,7 +2,6 @@ package edge
 
 import (
 	"errors"
-	"fmt"
 	"sync"
 	"time"
 
@@ -82,7 +81,11 @@ func NewRuntime(m *core.MEANet, policy core.Policy, cloud CloudClient, cost *Cos
 }
 
 // Policy returns the active inference policy.
-func (r *Runtime) Policy() core.Policy { return r.policy }
+func (r *Runtime) Policy() core.Policy {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.policy
+}
 
 // SetThreshold updates the entropy threshold (e.g. for runtime adaptation).
 func (r *Runtime) SetThreshold(th float64) {
@@ -92,21 +95,20 @@ func (r *Runtime) SetThreshold(th float64) {
 }
 
 // Classify runs Algorithm 2 on a batch, updating the runtime's accounting.
+// All cloud-qualifying instances of the batch are offloaded in one batched
+// round trip (core.InferBatched); a failed call falls back to the edge
+// decision per instance, and β, bytes and energy stay per-instance.
 func (r *Runtime) Classify(x *tensor.Tensor) ([]core.Decision, error) {
-	var cloudFn core.CloudFunc
-	if r.policy.UseCloud && r.cloud != nil {
-		cloudFn = func(img *tensor.Tensor) (int, float64, error) {
-			pred, conf, err := r.cloud.Classify(img)
-			if err != nil {
-				return 0, 0, fmt.Errorf("edge: cloud classify: %w", err)
-			}
-			return pred, conf, nil
-		}
-	}
+	// Snapshot the whole policy under the lock before wiring the cloud path:
+	// SetThreshold mutates r.policy concurrently.
 	r.mu.Lock()
 	pol := r.policy
 	r.mu.Unlock()
-	decisions, err := r.net.Infer(x, pol, cloudFn)
+	var cloudFn core.CloudBatchFunc
+	if pol.UseCloud && r.cloud != nil {
+		cloudFn = BatchOffload(r.cloud)
+	}
+	decisions, err := r.net.InferBatched(x, pol, cloudFn)
 	if err != nil {
 		return nil, err
 	}

@@ -12,9 +12,11 @@ import (
 	"time"
 
 	"github.com/meanet/meanet/internal/cloud"
+	"github.com/meanet/meanet/internal/core"
 	"github.com/meanet/meanet/internal/edge"
 	"github.com/meanet/meanet/internal/models"
 	"github.com/meanet/meanet/internal/netsim"
+	"github.com/meanet/meanet/internal/nn"
 	"github.com/meanet/meanet/internal/tensor"
 )
 
@@ -389,6 +391,129 @@ func TestClassifyBatchEndToEnd(t *testing.T) {
 		tensor.Randn(rng, 1, 3, 8, 8), tensor.Randn(rng, 1, 3, 4, 4),
 	}); err == nil {
 		t.Fatal("mixed-shape batch accepted")
+	}
+}
+
+// TestBatchedOffloadEndToEndBitwise is the acceptance test of the batched
+// offload path over real TCP: an edge runtime whose whole batch qualifies
+// for the cloud must issue exactly ONE round trip per input batch (not one
+// per complex instance), with predictions bitwise identical to the serial
+// per-instance path — in the raw mode and in the §III-C features mode.
+func TestBatchedOffloadEndToEndBitwise(t *testing.T) {
+	cloudCls := buildCloudModel(t, 80)
+	srv, err := cloud.NewServer(cloudCls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := edge.DialCloud(srv.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// A small untrained edge MEANet: its entropies are all positive, so a
+	// zero threshold routes every instance to the cloud.
+	rng := rand.New(rand.NewSource(81))
+	backbone, err := models.BuildResNet(rng, models.ResNetSpec{
+		Name: "edgeitest", InChannels: 3, StemChannels: 4,
+		Channels: []int{4, 8}, Blocks: []int{1, 1}, Strides: []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.BuildMEANetA(rng, backbone, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := edge.NewRuntime(m, core.Policy{Threshold: 0, UseCloud: true}, client, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const batches, perBatch = 3, 8
+	inputs := make([]*tensor.Tensor, batches)
+	for i := range inputs {
+		inputs[i] = tensor.Randn(rng, 1, perBatch, 3, 8, 8)
+	}
+	before := srv.Stats().Requests
+	var batchedDec []core.Decision
+	for _, x := range inputs {
+		dec, err := rt.Classify(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchedDec = append(batchedDec, dec...)
+	}
+	if got := srv.Stats().Requests - before; got != batches {
+		t.Fatalf("batched offload cost %d round trips for %d input batches, want %d",
+			got, batches, batches)
+	}
+
+	// Serial reference: one round trip per instance through the same server.
+	before = srv.Stats().Requests
+	var serialDec []core.Decision
+	for _, x := range inputs {
+		dec, err := m.Infer(x, core.Policy{Threshold: 0, UseCloud: true},
+			func(img *tensor.Tensor) (int, float64, error) { return client.Classify(img) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialDec = append(serialDec, dec...)
+	}
+	if got := srv.Stats().Requests - before; got != batches*perBatch {
+		t.Fatalf("serial reference cost %d round trips, want %d", got, batches*perBatch)
+	}
+	for i := range batchedDec {
+		if batchedDec[i].Exit != core.ExitCloud {
+			t.Fatalf("instance %d did not exit at cloud: %+v", i, batchedDec[i])
+		}
+		if batchedDec[i].Pred != serialDec[i].Pred || batchedDec[i].Exit != serialDec[i].Exit {
+			t.Fatalf("instance %d: batched %d/%v, serial %d/%v (must be bitwise identical)",
+				i, batchedDec[i].Pred, batchedDec[i].Exit, serialDec[i].Pred, serialDec[i].Exit)
+		}
+	}
+
+	// Features mode: a tail-equipped server must give bitwise-identical
+	// results for one classify-features-batch frame vs serial feature calls.
+	tail := &cloud.Tail{Body: nn.Identity{}, Exit: models.NewExit(rng, "itail", 8, 4)}
+	fsrv, err := cloud.NewServer(cloudCls, tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fsrv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer fsrv.Close()
+	fclient, err := edge.DialCloud(fsrv.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fclient.Close()
+	feats := make([]*tensor.Tensor, 6)
+	for i := range feats {
+		feats[i] = tensor.Randn(rng, 1, 8, 3, 3)
+	}
+	fBefore := fsrv.Stats().Requests
+	preds, confs, err := fclient.ClassifyFeaturesBatch(feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fsrv.Stats().Requests - fBefore; got != 1 {
+		t.Fatalf("feature batch cost %d round trips, want 1", got)
+	}
+	for i, feat := range feats {
+		pred, conf, err := fclient.ClassifyFeatures(feat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if preds[i] != pred || confs[i] != conf {
+			t.Fatalf("feature %d: batch %d/%v, serial %d/%v (must be bitwise identical)",
+				i, preds[i], confs[i], pred, conf)
+		}
 	}
 }
 

@@ -19,14 +19,15 @@ type MsgType uint8
 
 // Message types.
 const (
-	MsgClassifyRaw   MsgType = iota + 1 // payload: image tensor [C,H,W]
-	MsgClassifyFeat                     // payload: feature tensor [C,H,W]
-	MsgResult                           // payload: int32 class + float32 confidence
-	MsgError                            // payload: UTF-8 error text
-	MsgPing                             // empty payload
-	MsgPong                             // empty payload
-	MsgClassifyBatch                    // payload: batched image tensor [N,C,H,W]
-	MsgResultBatch                      // payload: uint32 count + count results
+	MsgClassifyRaw       MsgType = iota + 1 // payload: image tensor [C,H,W]
+	MsgClassifyFeat                         // payload: feature tensor [C,H,W]
+	MsgResult                               // payload: int32 class + float32 confidence
+	MsgError                                // payload: UTF-8 error text
+	MsgPing                                 // empty payload
+	MsgPong                                 // empty payload
+	MsgClassifyBatch                        // payload: batched image tensor [N,C,H,W]
+	MsgResultBatch                          // payload: uint32 count + count results
+	MsgClassifyFeatBatch                    // payload: batched feature tensor [N,C,H,W]
 )
 
 // String names the message type.
@@ -48,6 +49,8 @@ func (t MsgType) String() string {
 		return "classify-batch"
 	case MsgResultBatch:
 		return "result-batch"
+	case MsgClassifyFeatBatch:
+		return "classify-features-batch"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}

@@ -15,6 +15,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Type: MsgClassifyRaw, ID: 42, Payload: []byte{1, 2, 3}},
 		{Type: MsgResult, ID: 1 << 60, Payload: EncodeResult(7, 0.5)},
 		{Type: MsgError, ID: 9, Payload: []byte("boom")},
+		{Type: MsgClassifyFeatBatch, ID: 11, Payload: []byte{4, 5, 6}},
 	}
 	for _, f := range tests {
 		var buf bytes.Buffer
@@ -213,17 +214,40 @@ func TestDecodeResultsRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestMsgTypeWireValuesStable pins the on-wire numeric value of every
+// message type: new types must be APPENDED, never inserted, or mixed-version
+// edge/cloud deployments silently misparse each other.
+func TestMsgTypeWireValuesStable(t *testing.T) {
+	want := map[MsgType]uint8{
+		MsgClassifyRaw:       1,
+		MsgClassifyFeat:      2,
+		MsgResult:            3,
+		MsgError:             4,
+		MsgPing:              5,
+		MsgPong:              6,
+		MsgClassifyBatch:     7,
+		MsgResultBatch:       8,
+		MsgClassifyFeatBatch: 9,
+	}
+	for ty, v := range want {
+		if uint8(ty) != v {
+			t.Fatalf("%s has wire value %d, want %d", ty, uint8(ty), v)
+		}
+	}
+}
+
 func TestMsgTypeStrings(t *testing.T) {
 	names := map[MsgType]string{
-		MsgClassifyRaw:   "classify-raw",
-		MsgClassifyFeat:  "classify-features",
-		MsgResult:        "result",
-		MsgError:         "error",
-		MsgPing:          "ping",
-		MsgPong:          "pong",
-		MsgClassifyBatch: "classify-batch",
-		MsgResultBatch:   "result-batch",
-		MsgType(99):      "msgtype(99)",
+		MsgClassifyRaw:       "classify-raw",
+		MsgClassifyFeat:      "classify-features",
+		MsgResult:            "result",
+		MsgError:             "error",
+		MsgPing:              "ping",
+		MsgPong:              "pong",
+		MsgClassifyBatch:     "classify-batch",
+		MsgResultBatch:       "result-batch",
+		MsgClassifyFeatBatch: "classify-features-batch",
+		MsgType(99):          "msgtype(99)",
 	}
 	for ty, want := range names {
 		if got := ty.String(); got != want {

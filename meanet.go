@@ -88,6 +88,9 @@ type (
 	ExitPoint = core.ExitPoint
 	// CloudFunc classifies one instance on the cloud.
 	CloudFunc = core.CloudFunc
+	// CloudBatchFunc classifies a stacked batch on the cloud in one round
+	// trip, with per-instance error granularity.
+	CloudBatchFunc = core.CloudBatchFunc
 	// EvalReport scores an inference run.
 	EvalReport = core.EvalReport
 	// HardnessDetector is the optional learned easy/hard detector (§III-B).
@@ -199,6 +202,12 @@ var (
 	DialCloud = edge.DialCloud
 	// NewRuntime builds an edge inference runtime.
 	NewRuntime = edge.NewRuntime
+	// SerialOffload adapts a per-instance CloudFunc into a CloudBatchFunc
+	// (one round trip per instance — the legacy pattern).
+	SerialOffload = core.SerialOffload
+	// BatchOffload adapts a CloudClient's batch call into a CloudBatchFunc
+	// (one round trip per batch — the serving default).
+	BatchOffload = edge.BatchOffload
 
 	// DefaultWiFi returns the paper's WiFi constants.
 	DefaultWiFi = energy.DefaultWiFi
