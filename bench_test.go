@@ -21,6 +21,7 @@ import (
 	"github.com/meanet/meanet/internal/core"
 	"github.com/meanet/meanet/internal/data"
 	"github.com/meanet/meanet/internal/edge"
+	"github.com/meanet/meanet/internal/energy"
 	"github.com/meanet/meanet/internal/experiments"
 	"github.com/meanet/meanet/internal/models"
 	"github.com/meanet/meanet/internal/netsim"
@@ -377,6 +378,72 @@ func BenchmarkCloudOffload(b *testing.B) {
 	b.Run("wan/batched", func(b *testing.B) {
 		run(b, edge.BatchOffload(wan))
 	})
+}
+
+// BenchmarkCloudOffloadModes measures the adaptive feature-vs-raw offload on
+// the 2ms WAN transport: the same batch of cloud-qualifying instances is
+// offloaded raw, as main-block features, and in auto mode (which resolves to
+// the cheaper features representation here). Features are 3× smaller on the
+// wire for this geometry, so the feature modes trade bytes for identical
+// predictions. Reported per op: images/s and actual upload bytes.
+func BenchmarkCloudOffloadModes(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	backbone, err := models.BuildResNet(rng, models.ResNetSpec{
+		Name: "offmodes", InChannels: 3, StemChannels: 4,
+		Channels: []int{4, 8}, Blocks: []int{1, 1}, Strides: []int{2, 2},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.BuildMEANetA(rng, backbone, 1, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tail := &cloud.Tail{Body: nn.Identity{}, Exit: models.NewExit(rng, "offmodes-tail", m.MainOutChannels(), 8)}
+	srv, err := cloud.NewServer(cloud.Partitioned(m.Main, tail), tail)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	const n = 16
+	x := tensor.Randn(rng, 1, n, 3, 16, 16)
+	cost := &edge.CostParams{
+		Compute:      energy.EdgeGPUCIFAR(),
+		WiFi:         energy.DefaultWiFi(),
+		ImageBytes:   4 * 3 * 16 * 16,
+		FeatureBytes: 4 * int64(m.MainOutChannels()) * 8 * 8,
+	}
+	for _, mode := range []edge.OffloadMode{edge.OffloadRaw, edge.OffloadFeatures, edge.OffloadAuto} {
+		b.Run("wan/"+mode.String(), func(b *testing.B) {
+			client, err := edge.DialCloud(srv.Addr().String(), edge.DialConfig{
+				Link: netsim.Link{Latency: 2 * time.Millisecond},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+			rt, err := edge.NewRuntime(m, core.Policy{Threshold: 0, UseCloud: true}, client, cost)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := rt.SetOffloadMode(mode); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rt.Classify(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "images/s")
+			b.ReportMetric(float64(client.BytesSent())/float64(b.N), "upload-B/op")
+		})
+	}
 }
 
 func BenchmarkProtocolTensorRoundTrip(b *testing.B) {

@@ -6,7 +6,7 @@
 //
 //	meanet-cloud [-addr :9400] [-dataset c100|imagenet] [-scale tiny|small|full]
 //	             [-seed N] [-epochs N] [-weights FILE] [-save FILE]
-//	             [-batch N] [-linger DUR]
+//	             [-batch N] [-linger DUR] [-tail] [-variant A|B]
 //
 // -batch enables server-side micro-batching: up to N concurrent classify
 // requests (from any number of edge connections) are coalesced into one
@@ -18,9 +18,16 @@
 // one forward pass either way. Predictions are bitwise identical to the
 // unbatched path.
 //
-// The companion meanet-edge command, started with the same -dataset, -scale
-// and -seed, generates the identical synthetic dataset and offloads its
-// complex instances here.
+// -tail additionally serves the §III-C "sending features" mode: the command
+// replays the edge's deterministic main-block pipeline (internal/deploy) for
+// the given -variant, trains a small tail classifier over the resulting
+// feature maps, and answers classify-features(-batch) requests with it. The
+// edge can then offload feature tensors (-offload features|auto) instead of
+// raw pixels.
+//
+// The companion meanet-edge command, started with the same -dataset, -scale,
+// -seed and -variant, generates the identical synthetic dataset and offloads
+// its complex instances here.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"github.com/meanet/meanet/internal/cloud"
 	"github.com/meanet/meanet/internal/core"
 	"github.com/meanet/meanet/internal/data"
+	"github.com/meanet/meanet/internal/deploy"
 	"github.com/meanet/meanet/internal/models"
 )
 
@@ -56,16 +64,56 @@ func run(args []string) error {
 	save := fs.String("save", "", "save trained weights to this file")
 	batch := fs.Int("batch", 0, "micro-batch size (0 = no batching)")
 	linger := fs.Duration("linger", 2*time.Millisecond, "max wait for a micro-batch to fill")
+	tailMode := fs.Bool("tail", false, "serve the features mode: train a partitioned-network tail over the edge main block")
+	variant := fs.String("variant", "A", "edge MEANet variant the tail partitions (must match the edge)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	scale, err := parseScale(*scaleName)
+	scale, err := deploy.ParseScale(*scaleName)
 	if err != nil {
 		return err
 	}
-	synth, err := generatePreset(*dataset, scale, *seed)
+	synth, err := deploy.GeneratePreset(*dataset, scale, *seed)
 	if err != nil {
 		return err
+	}
+
+	// Partitioned deployment: with -tail the server's raw model is the
+	// composition tail∘main of the replayed edge main block — raw and
+	// feature uploads answer bitwise identically, which is what makes the
+	// edge's -offload auto a pure communication trade. The standalone cloud
+	// CNN (and its -weights/-save persistence) belongs to the
+	// non-partitioned deployment only.
+	if *tailMode {
+		if *weights != "" || *save != "" {
+			return fmt.Errorf("-weights/-save persist the standalone cloud CNN and are incompatible with -tail")
+		}
+		spec := deploy.EdgeSpec{
+			Dataset: *dataset, Scale: scale, Seed: *seed, Variant: *variant,
+			Epochs: deploy.DefaultEpochs(scale),
+			Progress: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "tail: "+format+"\n", args...)
+			},
+		}
+		m, err := deploy.BuildEdgeNet(spec, synth.Train.NumClasses)
+		if err != nil {
+			return err
+		}
+		tm, err := deploy.TrainMain(spec, m, synth)
+		if err != nil {
+			return fmt.Errorf("replay edge main block: %w", err)
+		}
+		tail, err := deploy.TrainTail(m, tm.Train, *seed+900, defaultEpochs(scale), spec.Progress)
+		if err != nil {
+			return fmt.Errorf("train features tail: %w", err)
+		}
+		raw := cloud.Partitioned(m.Main, tail)
+		acc, err := evalModel(raw, synth.Test)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "partitioned model test accuracy: %.2f%%\n", 100*acc)
+		return serve(raw, tail, *addr, *dataset, synth.Train.NumClasses, *batch, *linger)
 	}
 
 	rng := rand.New(rand.NewSource(*seed + 500))
@@ -124,24 +172,31 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "cloud model test accuracy: %.2f%%\n", 100*cm.Accuracy())
+	return serve(cls, nil, *addr, *dataset, synth.Train.NumClasses, *batch, *linger)
+}
 
+// serve runs the TCP server until interrupted and prints shutdown stats.
+func serve(raw cloud.Model, tail *cloud.Tail, addr, dataset string, classes, batch int, linger time.Duration) error {
 	var opts []cloud.Option
-	if *batch > 0 {
-		opts = append(opts, cloud.WithBatching(cloud.BatchConfig{MaxBatch: *batch, Linger: *linger}))
+	if batch > 0 {
+		opts = append(opts, cloud.WithBatching(cloud.BatchConfig{MaxBatch: batch, Linger: linger}))
 	}
-	srv, err := cloud.NewServer(cls, nil, opts...)
+	srv, err := cloud.NewServer(raw, tail, opts...)
 	if err != nil {
 		return err
 	}
-	if err := srv.Listen(*addr); err != nil {
+	if err := srv.Listen(addr); err != nil {
 		return err
 	}
 	mode := "unbatched"
-	if *batch > 0 {
-		mode = fmt.Sprintf("micro-batch %d, linger %v", *batch, *linger)
+	if batch > 0 {
+		mode = fmt.Sprintf("micro-batch %d, linger %v", batch, linger)
+	}
+	if tail != nil {
+		mode += ", partitioned features tail"
 	}
 	fmt.Printf("cloud AI serving on %s (dataset %s, %d classes, %s)\n",
-		srv.Addr(), *dataset, synth.Train.NumClasses, mode)
+		srv.Addr(), dataset, classes, mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -160,15 +215,30 @@ func run(args []string) error {
 	return nil
 }
 
-func generatePreset(name string, scale data.Scale, seed int64) (*data.Synth, error) {
-	switch name {
-	case "c100":
-		return data.Generate(data.SynthC100(scale, seed))
-	case "imagenet":
-		return data.Generate(data.SynthImageNet(scale, seed+100))
-	default:
-		return nil, fmt.Errorf("unknown dataset %q (want c100 or imagenet)", name)
+// evalModel measures top-1 accuracy of a serving model over a dataset.
+func evalModel(m cloud.Model, ds *data.Dataset) (float64, error) {
+	if ds.N == 0 {
+		return 0, fmt.Errorf("empty test set")
 	}
+	correct := 0
+	for start := 0; start < ds.N; start += 64 {
+		end := start + 64
+		if end > ds.N {
+			end = ds.N
+		}
+		idx := make([]int, end-start)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		x, y := ds.Batch(idx)
+		preds := m.Logits(x, false).ArgMaxRows()
+		for i, p := range preds {
+			if p == y[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(ds.N), nil
 }
 
 func defaultEpochs(scale data.Scale) int {
@@ -179,18 +249,5 @@ func defaultEpochs(scale data.Scale) int {
 		return 35
 	default:
 		return 22
-	}
-}
-
-func parseScale(name string) (data.Scale, error) {
-	switch name {
-	case "tiny":
-		return data.ScaleTiny, nil
-	case "small":
-		return data.ScaleSmall, nil
-	case "full":
-		return data.ScaleFull, nil
-	default:
-		return 0, fmt.Errorf("unknown scale %q (want tiny, small or full)", name)
 	}
 }

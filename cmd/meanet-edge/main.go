@@ -8,15 +8,21 @@
 //	meanet-edge [-cloud 127.0.0.1:9400] [-dataset c100|imagenet]
 //	            [-scale tiny|small|full] [-seed N] [-threshold T]
 //	            [-variant A|B] [-latency 10ms] [-mbps 18.88] [-batch N]
+//	            [-offload raw|features|auto] [-retries N]
 //
-// Start meanet-cloud first with the same -dataset, -scale and -seed so both
-// ends agree on the synthetic dataset and class count. With -cloud ""
+// Start meanet-cloud first with the same -dataset, -scale, -seed and
+// -variant so both ends agree on the synthetic dataset, class count and —
+// for the features mode — the partitioned main block. With -cloud ""
 // (empty) the edge runs standalone.
 //
 // Cloud offload is batched: within each -batch sized inference batch, every
 // complex (high-entropy) instance is uploaded in ONE classify-batch round
-// trip instead of one round trip per instance, and a failed call falls back
-// to the edge decision per instance.
+// trip instead of one round trip per instance. -offload selects the upload
+// representation: raw pixels, main-block feature tensors (requires a
+// tail-equipped server, see meanet-cloud -tail), or auto, which compares
+// the modeled bytes/energy of the two and picks the cheaper per batch.
+// Failed instances are re-offloaded -retries times before falling back to
+// the edge decision per instance.
 package main
 
 import (
@@ -27,12 +33,12 @@ import (
 	"time"
 
 	"github.com/meanet/meanet/internal/core"
-	"github.com/meanet/meanet/internal/data"
+	"github.com/meanet/meanet/internal/deploy"
 	"github.com/meanet/meanet/internal/edge"
 	"github.com/meanet/meanet/internal/energy"
-	"github.com/meanet/meanet/internal/models"
 	"github.com/meanet/meanet/internal/netsim"
 	"github.com/meanet/meanet/internal/profile"
+	"github.com/meanet/meanet/internal/tensor"
 )
 
 func main() {
@@ -53,68 +59,55 @@ func run(args []string) error {
 	latency := fs.Duration("latency", 0, "simulated uplink latency")
 	mbps := fs.Float64("mbps", 0, "simulated uplink bandwidth (0 = unshaped)")
 	batch := fs.Int("batch", 64, "inference batch size (complex instances of a batch share one cloud round trip)")
+	offload := fs.String("offload", "raw", "upload representation: raw, features or auto (cheaper of the two)")
+	retries := fs.Int("retries", 1, "re-offload attempts for instances whose cloud call failed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *batch < 1 {
 		return fmt.Errorf("batch size %d, want ≥1", *batch)
 	}
-	scale, err := parseScale(*scaleName)
+	if *retries < 0 {
+		return fmt.Errorf("retries %d, want ≥0", *retries)
+	}
+	mode, err := edge.ParseOffloadMode(*offload)
 	if err != nil {
 		return err
 	}
-	synth, err := generatePreset(*dataset, scale, *seed)
+	scale, err := deploy.ParseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+	synth, err := deploy.GeneratePreset(*dataset, scale, *seed)
 	if err != nil {
 		return err
 	}
 	classes := synth.Train.NumClasses
 
-	// Build the edge network.
-	rng := rand.New(rand.NewSource(*seed + 17))
-	var backbone *models.Backbone
-	if *dataset == "c100" {
-		backbone, err = models.BuildResNet(rng, models.ResNetEdgeC100(1))
-	} else {
-		backbone, err = models.BuildResNet(rng, models.ResNetEdgeImageNet(1))
+	// Build and train the edge network: the deterministic main-block half
+	// runs through the shared deploy pipeline (the cloud replays the same
+	// pipeline for its features tail), the edge blocks stay local.
+	spec := deploy.EdgeSpec{
+		Dataset: *dataset, Scale: scale, Seed: *seed, Variant: *variant,
+		Epochs:   deploy.DefaultEpochs(scale),
+		Progress: progressf,
 	}
+	m, err := deploy.BuildEdgeNet(spec, classes)
 	if err != nil {
 		return err
 	}
-	var m *core.MEANet
-	switch *variant {
-	case "A":
-		m, err = core.BuildMEANetA(rng, backbone, len(backbone.Groups)-1, classes)
-	case "B":
-		m, err = core.BuildMEANetB(rng, backbone, 2, classes, core.CombineSum)
-	default:
-		return fmt.Errorf("unknown variant %q (want A or B)", *variant)
-	}
-	if err != nil {
-		return err
-	}
-
-	// Algorithm 1: pretrain, select hard classes, adapt.
-	epochs := defaultEpochs(scale)
-	mainCfg := core.DefaultTrainConfig(epochs, *seed+11)
-	edgeCfg := core.DefaultTrainConfig(epochs, *seed+13)
-	mainCfg.Progress = progress("main block")
-	edgeCfg.Progress = progress("edge blocks")
-
-	rng2 := rand.New(rand.NewSource(mainCfg.Seed))
-	val, train := synth.Train.Split(0.1, rng2)
 	start := time.Now()
-	if err := core.TrainMainBlock(m, train, mainCfg); err != nil {
-		return err
-	}
-	cm, es, err := core.EvaluateMain(m, val, 64)
+	tm, err := deploy.TrainMain(spec, m, synth)
 	if err != nil {
 		return err
 	}
-	m.Dict, err = core.SelectHardClasses(cm, classes/2)
+	m.Dict, err = core.SelectHardClasses(tm.Confusion, classes/2)
 	if err != nil {
 		return err
 	}
-	if err := core.TrainEdgeBlocks(m, train, edgeCfg); err != nil {
+	edgeCfg := core.DefaultTrainConfig(spec.Epochs, *seed+13)
+	edgeCfg.Progress = progress("edge blocks")
+	if err := core.TrainEdgeBlocks(m, tm.Train, edgeCfg); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "edge training done in %.1fs; hard classes: %v\n",
@@ -122,7 +115,7 @@ func run(args []string) error {
 
 	// Threshold: validation midpoint unless overridden.
 	th := *threshold
-	lo, hi, ok := es.ThresholdRange()
+	lo, hi, ok := tm.Entropy.ThresholdRange()
 	if th < 0 {
 		if ok {
 			th = (lo + hi) / 2
@@ -150,7 +143,8 @@ func run(args []string) error {
 		client = tcp
 	}
 
-	// Energy model.
+	// Energy model. FeatureBytes comes from the main block's actual output
+	// geometry, probed with one dummy forward.
 	inShape := profile.Shape{C: synth.Train.C, H: synth.Train.H, W: synth.Train.W}
 	prof, err := profile.ProfileMEANet(m, inShape, 0)
 	if err != nil {
@@ -160,18 +154,25 @@ func run(args []string) error {
 	if *dataset == "imagenet" {
 		compute = energy.EdgeGPUImageNet()
 	}
+	feat, _ := m.MainForward(tensor.Randn(rand.New(rand.NewSource(1)), 1, 1, inShape.C, inShape.H, inShape.W), false)
 	cost := &edge.CostParams{
-		MainMACs:   prof.Fixed.MACs,
-		ExtMACs:    prof.Trained.MACs,
-		Compute:    compute,
-		WiFi:       energy.DefaultWiFi(),
-		ImageBytes: energy.RawImageBytes(inShape.H, inShape.W, inShape.C),
+		MainMACs:     prof.Fixed.MACs,
+		ExtMACs:      prof.Trained.MACs,
+		Compute:      compute,
+		WiFi:         energy.DefaultWiFi(),
+		ImageBytes:   energy.RawImageBytes(inShape.H, inShape.W, inShape.C),
+		FeatureBytes: energy.FeatureBytes(int64(feat.Numel())),
 	}
 
-	rt, err := edge.NewRuntime(m, core.Policy{Threshold: th, UseCloud: useCloud}, client, cost)
+	rt, err := edge.NewRuntime(m, core.Policy{Threshold: th, UseCloud: useCloud, CloudRetries: *retries}, client, cost)
 	if err != nil {
 		return err
 	}
+	if err := rt.SetOffloadMode(mode); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "offload mode %s (image %dB, features %dB per instance)\n",
+		mode, cost.ImageBytes, cost.FeatureBytes)
 
 	// Stream the test set; each batch's complex instances go to the cloud in
 	// one round trip.
@@ -207,6 +208,8 @@ func run(args []string) error {
 		rep.Exits[core.ExitMain], rep.Exits[core.ExitExtension], rep.Exits[core.ExitCloud],
 		100*rep.CloudFraction())
 	fmt.Printf("cloud failures:   %d\n", rep.CloudFailures)
+	fmt.Printf("uploads:          %d raw, %d feature (mode %s)\n",
+		rep.RawUploads, rep.FeatureUploads, mode)
 	fmt.Printf("bytes uploaded:   %d\n", rep.BytesSent)
 	fmt.Printf("edge energy:      %.3f J compute + %.3f J comm = %.3f J\n",
 		rep.Energy.ComputeJ, rep.Energy.CommJ, rep.Energy.TotalJ())
@@ -221,37 +224,6 @@ func progress(what string) func(int, float64) {
 	}
 }
 
-func generatePreset(name string, scale data.Scale, seed int64) (*data.Synth, error) {
-	switch name {
-	case "c100":
-		return data.Generate(data.SynthC100(scale, seed))
-	case "imagenet":
-		return data.Generate(data.SynthImageNet(scale, seed+100))
-	default:
-		return nil, fmt.Errorf("unknown dataset %q (want c100 or imagenet)", name)
-	}
-}
-
-func defaultEpochs(scale data.Scale) int {
-	switch scale {
-	case data.ScaleTiny:
-		return 8
-	case data.ScaleFull:
-		return 30
-	default:
-		return 18
-	}
-}
-
-func parseScale(name string) (data.Scale, error) {
-	switch name {
-	case "tiny":
-		return data.ScaleTiny, nil
-	case "small":
-		return data.ScaleSmall, nil
-	case "full":
-		return data.ScaleFull, nil
-	default:
-		return 0, fmt.Errorf("unknown scale %q (want tiny, small or full)", name)
-	}
+func progressf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
 }

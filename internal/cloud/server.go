@@ -15,11 +15,17 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"github.com/meanet/meanet/internal/models"
 	"github.com/meanet/meanet/internal/nn"
 	"github.com/meanet/meanet/internal/protocol"
 	"github.com/meanet/meanet/internal/tensor"
 )
+
+// Model is a cloud-side network: logits over an NCHW batch. It is satisfied
+// by *models.Classifier (the standalone cloud CNN) and by Partitioned (an
+// edge main block composed with a features tail).
+type Model interface {
+	Logits(x *tensor.Tensor, train bool) *tensor.Tensor
+}
 
 // Tail is the cloud half of a partitioned network for the features mode
 // (§III-C "sending features"): a body continuing from edge features plus an
@@ -32,6 +38,26 @@ type Tail struct {
 // Logits runs the tail on a feature batch.
 func (t *Tail) Logits(f *tensor.Tensor, train bool) *tensor.Tensor {
 	return t.Exit.Forward(t.Body.Forward(f, train), train)
+}
+
+// Partitioned composes an edge main block with a features tail into the raw
+// model of a partitioned deployment: Logits(x) = tail(main(x)). A server
+// built with Partitioned(main, tail) as its raw model and tail as its
+// feature tail answers raw uploads and feature uploads of the same instance
+// with bitwise-identical predictions (the kernels accumulate in the same
+// order wherever the split runs), which is what lets the edge switch upload
+// representation freely on channel cost alone.
+func Partitioned(main nn.Layer, tail *Tail) Model {
+	return &partitioned{main: main, tail: tail}
+}
+
+type partitioned struct {
+	main nn.Layer
+	tail *Tail
+}
+
+func (p *partitioned) Logits(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return p.tail.Logits(p.main.Forward(x, train), train)
 }
 
 // Stats are cumulative server counters, safe to read concurrently.
@@ -51,7 +77,7 @@ type Stats struct {
 
 // Server serves classification requests over TCP.
 type Server struct {
-	raw       *models.Classifier
+	raw       Model
 	feat      *Tail    // nil when the features mode is unsupported
 	batch     *batcher // nil when micro-batching is disabled
 	featBatch *batcher // features-mode collector; nil unless batching and feat are both on
@@ -93,8 +119,10 @@ func (s *Server) rawLogits(x *tensor.Tensor) *tensor.Tensor { return s.raw.Logit
 // featLogits runs the partitioned-network tail on an NCHW feature batch.
 func (s *Server) featLogits(x *tensor.Tensor) *tensor.Tensor { return s.feat.Logits(x, false) }
 
-// NewServer builds a server around a raw-image classifier. tail may be nil.
-func NewServer(raw *models.Classifier, tail *Tail, opts ...Option) (*Server, error) {
+// NewServer builds a server around a raw-image model (typically a
+// *models.Classifier, or cloud.Partitioned for a partitioned deployment).
+// tail may be nil.
+func NewServer(raw Model, tail *Tail, opts ...Option) (*Server, error) {
 	if raw == nil {
 		return nil, errors.New("cloud: nil classifier")
 	}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/meanet/meanet/internal/data"
+)
+
+// FeatureDataset runs the (frozen) main block over a dataset in evaluation
+// mode and materializes the feature maps as a new dataset with the same
+// labels — the training substrate for a cloud-side tail in the §III-C
+// "sending features" collaboration mode. The forward runs in mini-batches of
+// the given size.
+func (m *MEANet) FeatureDataset(ds *data.Dataset, batch int) (*data.Dataset, error) {
+	if ds == nil {
+		return nil, errors.New("core: nil dataset")
+	}
+	if batch < 1 {
+		return nil, errors.New("core: batch must be ≥1")
+	}
+	if ds.N == 0 {
+		return data.NewDataset(0, 0, 0, 0, ds.NumClasses), nil
+	}
+	var out *data.Dataset
+	sz := 0
+	for start := 0; start < ds.N; start += batch {
+		end := start + batch
+		if end > ds.N {
+			end = ds.N
+		}
+		idx := make([]int, end-start)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		x, y := ds.Batch(idx)
+		feat := m.Main.Forward(x, false)
+		if out == nil {
+			shape := feat.Shape()
+			if len(shape) != 4 {
+				return nil, fmt.Errorf("core: main block produced rank-%d features, want NCHW", len(shape))
+			}
+			out = data.NewDataset(ds.N, shape[1], shape[2], shape[3], ds.NumClasses)
+			sz = shape[1] * shape[2] * shape[3]
+		}
+		copy(out.X[start*sz:end*sz], feat.Data())
+		copy(out.Y[start:end], y)
+	}
+	return out, nil
+}

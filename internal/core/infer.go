@@ -42,8 +42,15 @@ type Decision struct {
 	ConfExt  float64 // max softmax score at the extension exit (0 if not run)
 
 	// CloudFailed is set when the instance qualified for cloud offload but
-	// the cloud call failed; the decision then comes from the edge fallback.
+	// every cloud attempt failed; the decision then comes from the edge
+	// fallback.
 	CloudFailed bool
+
+	// CloudAttempts counts the upload attempts this instance took part in
+	// (0 = never offloaded). With Policy.CloudRetries > 0 a failed instance
+	// is re-offloaded, and every attempt transmitted — byte and energy
+	// accounting must charge each one.
+	CloudAttempts int
 }
 
 // CloudFunc classifies one raw instance on the cloud AI, returning the
@@ -81,10 +88,44 @@ type Policy struct {
 	Threshold float64
 	// UseCloud enables the cloud branch.
 	UseCloud bool
+	// CloudRetries is the number of extra batched attempts granted to
+	// instances whose cloud call failed: the failed subset of the batch is
+	// gathered and re-offloaded, and only instances still failing after the
+	// last attempt fall back to the edge exit. 0 keeps the single-attempt
+	// behaviour.
+	CloudRetries int
 	// Detector, when non-nil, replaces the default easy/hard routing (main
 	// argmax ∈ hard set) with the learned binary detector — the paper's
 	// optional variant (§III-B).
 	Detector *HardnessDetector
+}
+
+// OffloadRep selects which representation of a cloud-qualifying instance the
+// batched cloud call receives — the paper's two edge-cloud collaboration
+// modes (§III-C).
+type OffloadRep int
+
+// Offload representations.
+const (
+	// RepRaw ships the gathered raw sub-batch ([k,C,H,W] pixels).
+	RepRaw OffloadRep = iota
+	// RepFeatures ships the gathered main-block feature sub-batch. The edge
+	// already computed the features during MainForward, so this
+	// representation costs no extra edge compute — only its (often smaller)
+	// upload.
+	RepFeatures
+)
+
+// String names the representation.
+func (r OffloadRep) String() string {
+	switch r {
+	case RepRaw:
+		return "raw"
+	case RepFeatures:
+		return "features"
+	default:
+		return fmt.Sprintf("offloadrep(%d)", int(r))
+	}
 }
 
 // Infer runs Algorithm 2 on a batch: every instance passes through the main
@@ -108,15 +149,35 @@ func (m *MEANet) Infer(x *tensor.Tensor, pol Policy, cloud CloudFunc) ([]Decisio
 // InferBatched is Infer with aggregated cloud offload: the cloud-qualifying
 // (high-entropy) instances of the batch are gathered — exactly like the
 // extension path gathers hard instances — and shipped to the cloud in at
-// most ONE CloudBatchFunc call per input batch. Instances whose slot of the
-// batched call failed (or the whole call, if it errored) fall back to the
-// edge decision individually; batching never turns a partial failure into a
-// whole-batch error.
+// most ONE CloudBatchFunc call per input batch (plus Policy.CloudRetries
+// re-offloads of failed instances). Instances whose slot of the batched call
+// failed (or the whole call, if it errored) fall back to the edge decision
+// individually; batching never turns a partial failure into a whole-batch
+// error. The upload carries raw pixels; InferBatchedRep selects the
+// representation explicitly.
 func (m *MEANet) InferBatched(x *tensor.Tensor, pol Policy, cloud CloudBatchFunc) ([]Decision, error) {
+	return m.InferBatchedRep(x, pol, RepRaw, cloud)
+}
+
+// InferBatchedRep is InferBatched with an explicit upload representation:
+// RepRaw gathers and ships the raw sub-batch, RepFeatures the main-block
+// feature sub-batch the edge computed anyway (§III-C "sending features", at
+// zero extra edge compute). The cloud transport must match the
+// representation — a feature upload needs a partitioned-network tail on the
+// server. Predictions never depend on the representation choice when the
+// cloud's raw model is the composition of the edge main block and the tail
+// (see cloud.Partitioned); only bytes, energy and latency differ.
+func (m *MEANet) InferBatchedRep(x *tensor.Tensor, pol Policy, rep OffloadRep, cloud CloudBatchFunc) ([]Decision, error) {
 	if x.Dims() != 4 {
 		return nil, fmt.Errorf("core: Infer expects NCHW input, got %v", x.Shape())
 	}
+	if rep != RepRaw && rep != RepFeatures {
+		return nil, fmt.Errorf("core: invalid offload representation %d", int(rep))
+	}
 	n := x.Dim(0)
+	if n == 0 {
+		return []Decision{}, nil // nothing to classify; skip the forward pass
+	}
 	feat, logits := m.MainForward(x, false)
 	probs := tensor.Softmax(logits)
 
@@ -141,23 +202,39 @@ func (m *MEANet) InferBatched(x *tensor.Tensor, pol Policy, cloud CloudBatchFunc
 	}
 
 	if len(cloudIdx) > 0 {
-		preds, confs, errs, err := cloud(gatherSamples(x, cloudIdx))
-		if err == nil && (len(preds) != len(cloudIdx) || len(confs) != len(cloudIdx)) {
-			err = fmt.Errorf("core: cloud batch returned %d/%d results for %d instances",
-				len(preds), len(confs), len(cloudIdx))
+		src := x
+		if rep == RepFeatures {
+			src = feat
 		}
-		if err == nil && errs != nil && len(errs) != len(cloudIdx) {
-			err = fmt.Errorf("core: cloud batch returned %d errors for %d instances",
-				len(errs), len(cloudIdx))
-		}
-		for bi, i := range cloudIdx {
-			d := &decisions[i]
-			if err != nil || (errs != nil && errs[bi] != nil) {
-				d.CloudFailed = true // fall through to the edge path
-				continue
+		// Attempt loop: the first pass uploads every qualifying instance;
+		// each retry gathers only the instances that failed (their slot or
+		// the whole call) and re-offloads them as one smaller batch.
+		pending := cloudIdx
+		for attempt := 0; len(pending) > 0 && attempt <= pol.CloudRetries; attempt++ {
+			preds, confs, errs, err := cloud(gatherSamples(src, pending))
+			if err == nil && (len(preds) != len(pending) || len(confs) != len(pending)) {
+				err = fmt.Errorf("core: cloud batch returned %d/%d results for %d instances",
+					len(preds), len(confs), len(pending))
 			}
-			d.Pred = preds[bi]
-			d.Exit = ExitCloud
+			if err == nil && errs != nil && len(errs) != len(pending) {
+				err = fmt.Errorf("core: cloud batch returned %d errors for %d instances",
+					len(errs), len(pending))
+			}
+			var failed []int
+			for bi, i := range pending {
+				d := &decisions[i]
+				d.CloudAttempts++
+				if err != nil || (errs != nil && errs[bi] != nil) {
+					failed = append(failed, i)
+					continue
+				}
+				d.Pred = preds[bi]
+				d.Exit = ExitCloud
+			}
+			pending = failed
+		}
+		for _, i := range pending {
+			decisions[i].CloudFailed = true // fall through to the edge path
 		}
 	}
 

@@ -1,0 +1,175 @@
+// Package deploy builds the deterministic artefacts the two service commands
+// (meanet-edge and meanet-cloud) must agree on. Both ends derive everything
+// from the same (dataset, scale, seed, variant) tuple: the synthetic dataset,
+// the edge MEANet architecture, and — for the §III-C "sending features"
+// collaboration mode — the trained main block whose feature geometry the
+// cloud-side tail continues from. Centralizing the construction here keeps
+// the two commands bitwise consistent: a drift in seeds or training order
+// between them would silently break the partitioned-network mode.
+package deploy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/meanet/meanet/internal/cloud"
+	"github.com/meanet/meanet/internal/core"
+	"github.com/meanet/meanet/internal/data"
+	"github.com/meanet/meanet/internal/metrics"
+	"github.com/meanet/meanet/internal/models"
+)
+
+// EdgeSpec pins the deterministic inputs of the edge-side construction.
+type EdgeSpec struct {
+	Dataset string // "c100" or "imagenet"
+	Scale   data.Scale
+	Seed    int64
+	Variant string // "A" or "B"
+	Epochs  int    // main-block training epochs
+
+	// Progress, when non-nil, receives coarse progress lines.
+	Progress func(format string, args ...any)
+}
+
+func (s EdgeSpec) logf(format string, args ...any) {
+	if s.Progress != nil {
+		s.Progress(format, args...)
+	}
+}
+
+// ParseScale maps a -scale flag value to a data.Scale.
+func ParseScale(name string) (data.Scale, error) {
+	switch name {
+	case "tiny":
+		return data.ScaleTiny, nil
+	case "small":
+		return data.ScaleSmall, nil
+	case "full":
+		return data.ScaleFull, nil
+	default:
+		return 0, fmt.Errorf("deploy: unknown scale %q (want tiny, small or full)", name)
+	}
+}
+
+// GeneratePreset builds the synthetic dataset for a preset name; edge and
+// cloud call it with the same arguments and obtain identical data.
+func GeneratePreset(name string, scale data.Scale, seed int64) (*data.Synth, error) {
+	switch name {
+	case "c100":
+		return data.Generate(data.SynthC100(scale, seed))
+	case "imagenet":
+		return data.Generate(data.SynthImageNet(scale, seed+100))
+	default:
+		return nil, fmt.Errorf("deploy: unknown dataset %q (want c100 or imagenet)", name)
+	}
+}
+
+// BuildEdgeNet constructs the (untrained) edge MEANet for a spec. The rng
+// seed offset matches the historical meanet-edge construction, so deployed
+// weights stay reproducible across releases.
+func BuildEdgeNet(spec EdgeSpec, classes int) (*core.MEANet, error) {
+	rng := rand.New(rand.NewSource(spec.Seed + 17))
+	var backbone *models.Backbone
+	var err error
+	if spec.Dataset == "c100" {
+		backbone, err = models.BuildResNet(rng, models.ResNetEdgeC100(1))
+	} else {
+		backbone, err = models.BuildResNet(rng, models.ResNetEdgeImageNet(1))
+	}
+	if err != nil {
+		return nil, err
+	}
+	switch spec.Variant {
+	case "A":
+		return core.BuildMEANetA(rng, backbone, len(backbone.Groups)-1, classes)
+	case "B":
+		return core.BuildMEANetB(rng, backbone, 2, classes, core.CombineSum)
+	default:
+		return nil, fmt.Errorf("deploy: unknown variant %q (want A or B)", spec.Variant)
+	}
+}
+
+// TrainedMain holds the outcome of the deterministic main-block pipeline.
+type TrainedMain struct {
+	Net   *core.MEANet
+	Train *data.Dataset // training split minus validation
+	Val   *data.Dataset // 10% validation split
+	// Validation diagnostics (hard-class selection, threshold range).
+	Confusion *metrics.Confusion
+	Entropy   metrics.EntropyStats
+}
+
+// TrainMain runs the main-block half of Algorithm 1 deterministically:
+// validation split, pretraining and validation evaluation, with all seeds
+// derived from the spec. An edge and a cloud running TrainMain with the same
+// spec and dataset hold bitwise-identical main blocks — the premise of the
+// partitioned features mode.
+func TrainMain(spec EdgeSpec, m *core.MEANet, synth *data.Synth) (*TrainedMain, error) {
+	mainCfg := core.DefaultTrainConfig(spec.Epochs, spec.Seed+11)
+	if spec.Progress != nil {
+		mainCfg.Progress = func(epoch int, loss float64) {
+			spec.logf("main block epoch %d loss %.4f", epoch+1, loss)
+		}
+	}
+	splitRng := rand.New(rand.NewSource(mainCfg.Seed))
+	val, train := synth.Train.Split(0.1, splitRng)
+	spec.logf("training main block (%d epochs)", mainCfg.Epochs)
+	if err := core.TrainMainBlock(m, train, mainCfg); err != nil {
+		return nil, err
+	}
+	cm, es, err := core.EvaluateMain(m, val, 64)
+	if err != nil {
+		return nil, err
+	}
+	return &TrainedMain{Net: m, Train: train, Val: val, Confusion: cm, Entropy: es}, nil
+}
+
+// TrainTail trains the cloud half of the partitioned network: a small
+// residual classifier over the frozen main block's feature maps, returned as
+// a serving tail. seed and epochs are explicit so callers outside the
+// deploy pipeline (experiments) can reuse it.
+func TrainTail(m *core.MEANet, train *data.Dataset, seed int64, epochs int,
+	progress func(format string, args ...any)) (*cloud.Tail, error) {
+	feats, err := m.FeatureDataset(train, 64)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	featC := feats.C
+	spec := models.ResNetSpec{
+		Name:         "feattail",
+		InChannels:   featC,
+		StemChannels: featC,
+		Channels:     []int{2 * featC},
+		Blocks:       []int{1},
+		Strides:      []int{1},
+	}
+	backbone, err := models.BuildResNet(rng, spec)
+	if err != nil {
+		return nil, err
+	}
+	cls := models.NewClassifier(rng, backbone, feats.NumClasses)
+	cfg := core.DefaultTrainConfig(epochs, seed+1)
+	if progress != nil {
+		progress("training features tail (%d epochs over %d×%d×%d features)",
+			epochs, feats.C, feats.H, feats.W)
+	}
+	if err := core.TrainClassifier(cls, feats, cfg); err != nil {
+		return nil, err
+	}
+	// Backbone is itself an nn.Layer, so the tail forwards exactly as the
+	// classifier trained.
+	return &cloud.Tail{Body: cls.Backbone, Exit: cls.Exit}, nil
+}
+
+// DefaultEpochs is the scale default both commands share for edge training.
+func DefaultEpochs(scale data.Scale) int {
+	switch scale {
+	case data.ScaleTiny:
+		return 8
+	case data.ScaleFull:
+		return 30
+	default:
+		return 18
+	}
+}

@@ -1,0 +1,125 @@
+package deploy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/meanet/meanet/internal/cloud"
+	"github.com/meanet/meanet/internal/data"
+	"github.com/meanet/meanet/internal/edge"
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+func tinySpec() EdgeSpec {
+	return EdgeSpec{Dataset: "c100", Scale: data.ScaleTiny, Seed: 3, Variant: "A", Epochs: 2}
+}
+
+// TestTrainMainDeterministic is the premise of the partitioned features
+// mode: an edge and a cloud that each run the shared pipeline from the same
+// spec must hold bitwise-identical main blocks, or the cloud tail would
+// continue from features the edge never produces.
+func TestTrainMainDeterministic(t *testing.T) {
+	spec := tinySpec()
+	synthA, err := GeneratePreset(spec.Dataset, spec.Scale, spec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synthB, err := GeneratePreset(spec.Dataset, spec.Scale, spec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mA, err := BuildEdgeNet(spec, synthA.Train.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mB, err := BuildEdgeNet(spec, synthB.Train.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainMain(spec, mA, synthA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainMain(spec, mB, synthB); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Randn(rand.New(rand.NewSource(9)), 1, 2, synthA.Train.C, synthA.Train.H, synthA.Train.W)
+	fA := mA.Main.Forward(x, false)
+	fB := mB.Main.Forward(x, false)
+	if !fA.SameShape(fB) {
+		t.Fatalf("replayed main blocks disagree on shape: %v vs %v", fA.Shape(), fB.Shape())
+	}
+	for i, v := range fA.Data() {
+		if math.Float32bits(v) != math.Float32bits(fB.Data()[i]) {
+			t.Fatalf("replayed main blocks diverge at element %d: %x vs %x",
+				i, math.Float32bits(v), math.Float32bits(fB.Data()[i]))
+		}
+	}
+}
+
+// TestTrainTailServesFeatures trains a tail over the main block's features
+// and checks that feature uploads through an in-process client agree with
+// the partitioned raw model — the bitwise contract the offload modes rely
+// on.
+func TestTrainTailServesFeatures(t *testing.T) {
+	spec := tinySpec()
+	synth, err := GeneratePreset(spec.Dataset, spec.Scale, spec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildEdgeNet(spec, synth.Train.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := TrainMain(spec, m, synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := TrainTail(m, tm.Train, 99, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &edge.InProcClient{Model: cloud.Partitioned(m.Main, tail), Tail: tail}
+	x, _ := synth.Test.Batch([]int{0, 1, 2, 3})
+	imgs := make([]*tensor.Tensor, x.Dim(0))
+	feats := make([]*tensor.Tensor, x.Dim(0))
+	fullFeat := m.Main.Forward(x, false)
+	for i := range imgs {
+		imgs[i] = x.Sample(i)
+		feats[i] = fullFeat.Sample(i)
+	}
+	rawPreds, rawConfs, err := client.ClassifyBatch(imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	featPreds, featConfs, err := client.ClassifyFeaturesBatch(feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rawPreds {
+		if rawPreds[i] != featPreds[i] || rawConfs[i] != featConfs[i] {
+			t.Fatalf("instance %d: raw %d/%v, features %d/%v (partitioned model must agree bitwise)",
+				i, rawPreds[i], rawConfs[i], featPreds[i], featConfs[i])
+		}
+	}
+}
+
+func TestParseScaleAndPresets(t *testing.T) {
+	for name, want := range map[string]data.Scale{
+		"tiny": data.ScaleTiny, "small": data.ScaleSmall, "full": data.ScaleFull,
+	} {
+		got, err := ParseScale(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseScale(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+	if _, err := GeneratePreset("mnist", data.ScaleTiny, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := BuildEdgeNet(EdgeSpec{Dataset: "c100", Variant: "C"}, 4); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}

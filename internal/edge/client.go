@@ -13,7 +13,6 @@ import (
 	"time"
 
 	"github.com/meanet/meanet/internal/core"
-	"github.com/meanet/meanet/internal/models"
 	"github.com/meanet/meanet/internal/netsim"
 	"github.com/meanet/meanet/internal/protocol"
 	"github.com/meanet/meanet/internal/tensor"
@@ -32,11 +31,42 @@ type CloudClient interface {
 	Close() error
 }
 
+// FeatureCloudClient is the optional refinement of CloudClient for
+// transports that also carry the §III-C "sending features" mode: main-block
+// feature tensors classified by the server's partitioned-network tail. Both
+// built-in clients implement it; whether a call succeeds depends on the far
+// end actually having a tail (a server without one answers with an error,
+// and the instances fall back to the edge).
+type FeatureCloudClient interface {
+	CloudClient
+	// ClassifyFeaturesBatch sends same-shaped CHW feature tensors in ONE
+	// round trip through the cloud's feature tail.
+	ClassifyFeaturesBatch(feats []*tensor.Tensor) (preds []int, confs []float64, err error)
+}
+
 // stackedBatchClient is the zero-copy fast path of BatchOffload: both
 // built-in clients take the already-stacked NCHW tensor directly, skipping
 // the split-into-views / re-stack round trip of the interface call.
 type stackedBatchClient interface {
 	classifyStacked(batch *tensor.Tensor) (preds []int, confs []float64, err error)
+}
+
+// stackedFeatureBatchClient is stackedBatchClient for the features mode.
+type stackedFeatureBatchClient interface {
+	classifyFeaturesStacked(batch *tensor.Tensor) (preds []int, confs []float64, err error)
+}
+
+// partialStackedClient lets a transport fail individual slots of a stacked
+// raw batch. Production transports fail whole calls only; fault-injection
+// tests implement this to exercise the per-instance fallback and retry
+// paths.
+type partialStackedClient interface {
+	classifyStackedPartial(batch *tensor.Tensor) (preds []int, confs []float64, errs []error, err error)
+}
+
+// partialFeatureStackedClient is partialStackedClient for the features mode.
+type partialFeatureStackedClient interface {
+	classifyFeaturesStackedPartial(batch *tensor.Tensor) (preds []int, confs []float64, errs []error, err error)
 }
 
 // BatchOffload adapts a CloudClient's batch call into the core.CloudBatchFunc
@@ -45,6 +75,9 @@ type stackedBatchClient interface {
 // instance so each falls back to the edge individually.
 func BatchOffload(c CloudClient) core.CloudBatchFunc {
 	return func(sub *tensor.Tensor) ([]int, []float64, []error, error) {
+		if pc, ok := c.(partialStackedClient); ok {
+			return pc.classifyStackedPartial(sub)
+		}
 		var preds []int
 		var confs []float64
 		var err error
@@ -59,6 +92,33 @@ func BatchOffload(c CloudClient) core.CloudBatchFunc {
 		}
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("edge: cloud classify batch: %w", err)
+		}
+		return preds, confs, nil, nil
+	}
+}
+
+// FeatureBatchOffload is BatchOffload for the features representation: the
+// stacked sub-batch of main-block feature tensors goes out as one
+// ClassifyFeaturesBatch round trip.
+func FeatureBatchOffload(c FeatureCloudClient) core.CloudBatchFunc {
+	return func(sub *tensor.Tensor) ([]int, []float64, []error, error) {
+		if pc, ok := c.(partialFeatureStackedClient); ok {
+			return pc.classifyFeaturesStackedPartial(sub)
+		}
+		var preds []int
+		var confs []float64
+		var err error
+		if sc, ok := c.(stackedFeatureBatchClient); ok {
+			preds, confs, err = sc.classifyFeaturesStacked(sub)
+		} else {
+			feats := make([]*tensor.Tensor, sub.Dim(0))
+			for i := range feats {
+				feats[i] = sub.Sample(i)
+			}
+			preds, confs, err = c.ClassifyFeaturesBatch(feats)
+		}
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("edge: cloud classify features batch: %w", err)
 		}
 		return preds, confs, nil, nil
 	}
@@ -129,7 +189,7 @@ type clientResult struct {
 	err   error
 }
 
-var _ CloudClient = (*TCPClient)(nil)
+var _ FeatureCloudClient = (*TCPClient)(nil)
 
 // DialCloud connects to a cloud server.
 func DialCloud(addr string, cfg DialConfig) (*TCPClient, error) {
@@ -327,6 +387,15 @@ func (c *TCPClient) classifyStacked(batch *tensor.Tensor) ([]int, []float64, err
 	return c.stackedRoundTrip(protocol.MsgClassifyBatch, batch)
 }
 
+// classifyFeaturesStacked is classifyStacked for the features mode (the
+// FeatureBatchOffload fast path).
+func (c *TCPClient) classifyFeaturesStacked(batch *tensor.Tensor) ([]int, []float64, error) {
+	if batch.Dims() != 4 {
+		return nil, nil, fmt.Errorf("edge: classifyFeaturesStacked expects an NCHW batch, got shape %v", batch.Shape())
+	}
+	return c.stackedRoundTrip(protocol.MsgClassifyFeatBatch, batch)
+}
+
 // batchRoundTrip stacks same-shaped CHW tensors into one NCHW frame of the
 // given type and decodes the per-instance result batch.
 func (c *TCPClient) batchRoundTrip(msgType protocol.MsgType, name string, ts []*tensor.Tensor) ([]int, []float64, error) {
@@ -406,14 +475,24 @@ func (c *TCPClient) Close() error {
 	return conn.Close()
 }
 
+// LogitModel is a cloud-side network: logits over an NCHW batch. It is
+// satisfied by *models.Classifier, cloud.Partitioned and *cloud.Tail.
+type LogitModel interface {
+	Logits(x *tensor.Tensor, train bool) *tensor.Tensor
+}
+
 // InProcClient serves cloud requests from an in-process classifier — the
 // deterministic transport used by simulations and benchmarks. It is safe for
 // concurrent use (evaluation-mode forwards are stateless).
 type InProcClient struct {
-	Model *models.Classifier
+	// Model answers raw-image requests (typically a *models.Classifier).
+	Model LogitModel
+	// Tail, when non-nil, answers feature requests — the in-process analogue
+	// of a server-side partitioned-network tail (e.g. a *cloud.Tail).
+	Tail LogitModel
 }
 
-var _ CloudClient = (*InProcClient)(nil)
+var _ FeatureCloudClient = (*InProcClient)(nil)
 
 // Classify runs the classifier directly (a 1-image batch through the same
 // post-processing as the batched path, so the two agree bitwise).
@@ -441,17 +520,43 @@ func (c *InProcClient) ClassifyBatch(imgs []*tensor.Tensor) ([]int, []float64, e
 	return c.classifyStacked(batch)
 }
 
+// ClassifyFeaturesBatch stacks the feature tensors and runs ONE forward pass
+// through the tail — the in-process analogue of a classify-features-batch
+// frame. It fails like a tail-less server when no Tail is configured.
+func (c *InProcClient) ClassifyFeaturesBatch(feats []*tensor.Tensor) ([]int, []float64, error) {
+	batch, err := stackCHW(feats, "ClassifyFeaturesBatch")
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.classifyFeaturesStacked(batch)
+}
+
 // classifyStacked classifies an already-stacked NCHW batch without
 // re-copying it (the BatchOffload fast path).
 func (c *InProcClient) classifyStacked(batch *tensor.Tensor) ([]int, []float64, error) {
 	if c.Model == nil {
 		return nil, nil, errors.New("edge: in-process client has no model")
 	}
+	return c.stackedLogits(c.Model, batch)
+}
+
+// classifyFeaturesStacked classifies an already-stacked NCHW feature batch
+// through the tail (the FeatureBatchOffload fast path).
+func (c *InProcClient) classifyFeaturesStacked(batch *tensor.Tensor) ([]int, []float64, error) {
+	if c.Tail == nil {
+		return nil, nil, errors.New("edge: features mode not supported by this client (no tail)")
+	}
+	return c.stackedLogits(c.Tail, batch)
+}
+
+// stackedLogits runs one forward pass over a stacked NCHW batch and decodes
+// per-instance predictions with the same post-processing as the server.
+func (c *InProcClient) stackedLogits(model LogitModel, batch *tensor.Tensor) ([]int, []float64, error) {
 	if batch.Dims() != 4 {
 		return nil, nil, fmt.Errorf("edge: classifyStacked expects an NCHW batch, got shape %v", batch.Shape())
 	}
 	n := batch.Dim(0)
-	logits := c.Model.Logits(batch, false)
+	logits := model.Logits(batch, false)
 	preds := make([]int, n)
 	confs := make([]float64, n)
 	for i := 0; i < n; i++ {

@@ -6,12 +6,27 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/meanet/meanet/internal/cloud"
 	"github.com/meanet/meanet/internal/core"
 	"github.com/meanet/meanet/internal/data"
 	"github.com/meanet/meanet/internal/energy"
 	"github.com/meanet/meanet/internal/models"
+	"github.com/meanet/meanet/internal/nn"
 	"github.com/meanet/meanet/internal/tensor"
 )
+
+// tinyTail builds a features tail over the test MEANet's main-block output
+// (4 channels) and the partitioned in-process client that answers raw and
+// feature uploads with bitwise-identical predictions.
+func tinyPartitionedClient(t *testing.T, m *core.MEANet, seed int64, classes int) *InProcClient {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tail := &cloud.Tail{
+		Body: nn.Identity{},
+		Exit: models.NewExit(rng, "tinytail", m.MainOutChannels(), classes),
+	}
+	return &InProcClient{Model: cloud.Partitioned(m.Main, tail), Tail: tail}
+}
 
 func tinyMEANet(t *testing.T, seed int64) (*core.MEANet, *data.Synth) {
 	t.Helper()
@@ -372,6 +387,179 @@ func TestRuntimeSetThresholdAndReset(t *testing.T) {
 	rep := rt.Report()
 	if rep.N != 0 || rep.BytesSent != 0 || len(rep.Exits) != 0 {
 		t.Fatalf("Reset left state: %+v", rep)
+	}
+}
+
+func TestOffloadModeParseAndString(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want OffloadMode
+	}{{"raw", OffloadRaw}, {"features", OffloadFeatures}, {"feat", OffloadFeatures}, {"auto", OffloadAuto}} {
+		got, err := ParseOffloadMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseOffloadMode(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseOffloadMode("pixels"); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if OffloadRaw.String() != "raw" || OffloadFeatures.String() != "features" || OffloadAuto.String() != "auto" {
+		t.Fatal("offload mode names wrong")
+	}
+}
+
+// rawOnlyClient is a CloudClient without the features extension (no method
+// promotion: the inner client is a named field, not embedded).
+type rawOnlyClient struct{ inner InProcClient }
+
+func (c *rawOnlyClient) Classify(img *tensor.Tensor) (int, float64, error) {
+	return c.inner.Classify(img)
+}
+func (c *rawOnlyClient) ClassifyBatch(imgs []*tensor.Tensor) ([]int, []float64, error) {
+	return c.inner.ClassifyBatch(imgs)
+}
+func (c *rawOnlyClient) Close() error { return nil }
+
+func TestRuntimeSetOffloadModeValidation(t *testing.T) {
+	m, _ := tinyMEANet(t, 20)
+	inproc := &InProcClient{Model: tinyCloud(t, 20, 6, 2)}
+	cost := testCost()
+	cost.FeatureBytes = 64
+	rt, err := NewRuntime(m, core.Policy{Threshold: 0, UseCloud: true}, inproc, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.OffloadMode() != OffloadRaw {
+		t.Fatalf("default offload mode %v, want raw", rt.OffloadMode())
+	}
+	for _, mode := range []OffloadMode{OffloadRaw, OffloadFeatures, OffloadAuto} {
+		if err := rt.SetOffloadMode(mode); err != nil {
+			t.Fatalf("SetOffloadMode(%v) on feature-capable client: %v", mode, err)
+		}
+		if rt.OffloadMode() != mode {
+			t.Fatalf("mode not applied: %v", rt.OffloadMode())
+		}
+	}
+	if err := rt.SetOffloadMode(OffloadMode(42)); err == nil {
+		t.Fatal("invalid mode accepted")
+	}
+
+	// A cost model without FeatureBytes cannot account feature uploads: the
+	// forced features mode is rejected (auto degrades to raw instead).
+	rtNoFeat, err := NewRuntime(m, core.Policy{Threshold: 0, UseCloud: true}, inproc, testCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rtNoFeat.SetOffloadMode(OffloadFeatures); err == nil {
+		t.Fatal("features mode accepted without CostParams.FeatureBytes")
+	}
+	if err := rtNoFeat.SetOffloadMode(OffloadAuto); err != nil {
+		t.Fatalf("auto mode should stay available without FeatureBytes: %v", err)
+	}
+
+	// A transport without the features extension rejects features/auto.
+	raw := &rawOnlyClient{inner: InProcClient{Model: tinyCloud(t, 20, 6, 2)}}
+	var rawIface CloudClient = raw
+	if _, ok := rawIface.(FeatureCloudClient); ok {
+		t.Fatal("rawOnlyClient unexpectedly feature-capable")
+	}
+	rt2, err := NewRuntime(m, core.Policy{Threshold: 0, UseCloud: true}, raw, testCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt2.SetOffloadMode(OffloadFeatures); err == nil {
+		t.Fatal("features mode accepted on a raw-only transport")
+	}
+}
+
+// TestRuntimeOffloadModesBitwiseAndBytes is the in-process acceptance test of
+// the tentpole: against a partitioned cloud (raw model = tail∘main),
+// predictions are bitwise identical in raw, features and auto modes; only
+// the modeled bytes and communication energy differ, and auto picks the
+// cheaper representation.
+func TestRuntimeOffloadModesBitwiseAndBytes(t *testing.T) {
+	m, s := tinyMEANet(t, 21)
+	client := tinyPartitionedClient(t, m, 21, 6)
+	x, _ := s.Test.Batch([]int{0, 1, 2, 3, 4, 5})
+
+	cost := testCost()
+	cost.FeatureBytes = 64 // cheaper than ImageBytes (128) → auto picks features
+	runMode := func(mode OffloadMode) ([]core.Decision, Report) {
+		t.Helper()
+		rt, err := NewRuntime(m, core.Policy{Threshold: 0, UseCloud: true}, client, cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.SetOffloadMode(mode); err != nil {
+			t.Fatal(err)
+		}
+		dec, err := rt.Classify(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dec, rt.Report()
+	}
+
+	rawDec, rawRep := runMode(OffloadRaw)
+	featDec, featRep := runMode(OffloadFeatures)
+	autoDec, autoRep := runMode(OffloadAuto)
+	for i := range rawDec {
+		if rawDec[i].Exit != core.ExitCloud {
+			t.Fatalf("instance %d did not exit at cloud: %+v", i, rawDec[i])
+		}
+		if rawDec[i].Pred != featDec[i].Pred || rawDec[i].Pred != autoDec[i].Pred ||
+			rawDec[i].Exit != featDec[i].Exit || rawDec[i].Exit != autoDec[i].Exit {
+			t.Fatalf("instance %d diverged across modes: raw %+v, features %+v, auto %+v",
+				i, rawDec[i], featDec[i], autoDec[i])
+		}
+	}
+
+	if rawRep.BytesSent != 6*cost.ImageBytes || rawRep.RawUploads != 6 || rawRep.FeatureUploads != 0 {
+		t.Fatalf("raw accounting wrong: %+v", rawRep)
+	}
+	if featRep.BytesSent != 6*cost.FeatureBytes || featRep.FeatureUploads != 6 || featRep.RawUploads != 0 {
+		t.Fatalf("features accounting wrong: %+v", featRep)
+	}
+	if autoRep.BytesSent != featRep.BytesSent || autoRep.FeatureUploads != 6 {
+		t.Fatalf("auto did not pick the cheaper features representation: %+v", autoRep)
+	}
+	if featRep.Energy.CommJ >= rawRep.Energy.CommJ {
+		t.Fatalf("feature uploads should cost less comm energy: %v >= %v",
+			featRep.Energy.CommJ, rawRep.Energy.CommJ)
+	}
+
+	// When features are the more expensive representation, auto flips to raw.
+	cost.FeatureBytes = 4 * cost.ImageBytes
+	expDec, expRep := runMode(OffloadAuto)
+	if expRep.BytesSent != 6*cost.ImageBytes || expRep.RawUploads != 6 || expRep.FeatureUploads != 0 {
+		t.Fatalf("auto should fall back to raw when features cost more: %+v", expRep)
+	}
+	for i := range expDec {
+		if expDec[i].Pred != rawDec[i].Pred {
+			t.Fatalf("auto(raw) instance %d pred %d, want %d", i, expDec[i].Pred, rawDec[i].Pred)
+		}
+	}
+}
+
+// TestRuntimeAutoDegradesToRaw: auto without a cost model (or without
+// FeatureBytes) cannot compare the uploads and must behave exactly like raw.
+func TestRuntimeAutoDegradesToRaw(t *testing.T) {
+	m, s := tinyMEANet(t, 22)
+	client := tinyPartitionedClient(t, m, 22, 6)
+	rt, err := NewRuntime(m, core.Policy{Threshold: 0, UseCloud: true}, client, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetOffloadMode(OffloadAuto); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := s.Test.Batch([]int{0, 1, 2})
+	if _, err := rt.Classify(x); err != nil {
+		t.Fatal(err)
+	}
+	rep := rt.Report()
+	if rep.RawUploads != 3 || rep.FeatureUploads != 0 {
+		t.Fatalf("auto without a cost model should upload raw: %+v", rep)
 	}
 }
 

@@ -2,6 +2,7 @@ package edge
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -10,15 +11,75 @@ import (
 	"github.com/meanet/meanet/internal/tensor"
 )
 
+// OffloadMode selects which representation of a cloud-qualifying instance
+// the runtime uploads.
+type OffloadMode int
+
+// Offload modes.
+const (
+	// OffloadRaw always uploads raw pixels (the paper's default).
+	OffloadRaw OffloadMode = iota
+	// OffloadFeatures always uploads the main-block feature tensor (§III-C
+	// "sending features"); the transport must reach a tail-equipped server.
+	OffloadFeatures
+	// OffloadAuto compares the modeled upload cost (bytes and WiFi energy)
+	// of the two representations per batch and picks the cheaper one. The
+	// features are already in hand from MainForward, so the choice trades
+	// communication only. Without a feature-capable transport or a cost
+	// model it degrades to raw.
+	OffloadAuto
+)
+
+// String names the mode.
+func (m OffloadMode) String() string {
+	switch m {
+	case OffloadRaw:
+		return "raw"
+	case OffloadFeatures:
+		return "features"
+	case OffloadAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("offloadmode(%d)", int(m))
+	}
+}
+
+// ParseOffloadMode parses a -offload flag value.
+func ParseOffloadMode(s string) (OffloadMode, error) {
+	switch s {
+	case "raw":
+		return OffloadRaw, nil
+	case "features", "feat":
+		return OffloadFeatures, nil
+	case "auto":
+		return OffloadAuto, nil
+	default:
+		return 0, fmt.Errorf("edge: unknown offload mode %q (want raw, features or auto)", s)
+	}
+}
+
 // CostParams parameterizes the runtime's energy accounting: per-instance MAC
 // counts of the two edge paths (from the profiler), the calibrated compute
-// model, the WiFi model, and the raw upload size per image.
+// model, the WiFi model, and the upload size per instance in each
+// representation.
 type CostParams struct {
 	MainMACs   int64 // main block + main exit
 	ExtMACs    int64 // adaptive + extension + extension exit
 	Compute    energy.ComputeModel
 	WiFi       energy.WiFiModel
 	ImageBytes int64
+	// FeatureBytes is the upload size of one main-block feature tensor
+	// (energy.FeatureBytes of its element count). 0 means unknown, which
+	// disables the features choice in OffloadAuto.
+	FeatureBytes int64
+}
+
+// uploadBytes is the per-instance upload size of a representation.
+func (c *CostParams) uploadBytes(rep core.OffloadRep) int64 {
+	if rep == core.RepFeatures {
+		return c.FeatureBytes
+	}
+	return c.ImageBytes
 }
 
 // Report summarizes a runtime's activity.
@@ -28,6 +89,12 @@ type Report struct {
 	CloudFailures int
 	BytesSent     int64
 	Energy        energy.Breakdown
+
+	// RawUploads and FeatureUploads count per-instance upload attempts by
+	// representation (retries included): BytesSent is exactly
+	// RawUploads×ImageBytes + FeatureUploads×FeatureBytes.
+	RawUploads     int
+	FeatureUploads int
 
 	// Modeled cumulative latency: edge computation time and upload
 	// serialization time (the paper's latency argument for early exits:
@@ -47,16 +114,19 @@ func (r Report) CloudFraction() float64 {
 // Runtime executes Algorithm 2 over a MEANet with a cloud transport,
 // accumulating exit statistics and edge-side energy.
 type Runtime struct {
-	net    *core.MEANet
-	policy core.Policy
-	cloud  CloudClient
-	cost   *CostParams
+	net   *core.MEANet
+	cloud CloudClient
+	cost  *CostParams
 
 	mu             sync.Mutex
+	policy         core.Policy
+	mode           OffloadMode
 	n              int
 	exits          map[core.ExitPoint]int
 	cloudFailures  int
 	bytesSent      int64
+	rawUploads     int
+	featUploads    int
 	energyTotal    energy.Breakdown
 	latencyCompute time.Duration
 	latencyComm    time.Duration
@@ -94,30 +164,120 @@ func (r *Runtime) SetThreshold(th float64) {
 	r.policy.Threshold = th
 }
 
+// SetCloudRetries updates the number of extra batched attempts granted to
+// instances whose cloud call failed (see core.Policy.CloudRetries).
+func (r *Runtime) SetCloudRetries(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.policy.CloudRetries = n
+}
+
+// SetOffloadMode selects the upload representation for cloud offloads. The
+// features and auto modes require a feature-capable transport
+// (FeatureCloudClient).
+func (r *Runtime) SetOffloadMode(mode OffloadMode) error {
+	switch mode {
+	case OffloadRaw:
+	case OffloadFeatures, OffloadAuto:
+		if r.cloud != nil {
+			if _, ok := r.cloud.(FeatureCloudClient); !ok {
+				return fmt.Errorf("edge: offload mode %s needs a feature-capable cloud client", mode)
+			}
+		}
+		// A cost model without FeatureBytes would charge feature uploads as
+		// zero bytes/energy — reject the forced mode instead of silently
+		// under-accounting. (Auto degrades to raw in this case.)
+		if mode == OffloadFeatures && r.cost != nil && r.cost.FeatureBytes <= 0 {
+			return fmt.Errorf("edge: offload mode features needs CostParams.FeatureBytes for accounting")
+		}
+	default:
+		return fmt.Errorf("edge: invalid offload mode %d", int(mode))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mode = mode
+	return nil
+}
+
+// OffloadMode reports the active offload mode.
+func (r *Runtime) OffloadMode() OffloadMode {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.mode
+}
+
+// resolveRep turns the configured mode into the representation this batch
+// uploads. Auto picks the representation with the cheaper modeled upload —
+// WiFi energy when the model is configured, bytes otherwise — and degrades
+// to raw when the transport cannot carry features or no cost model exists
+// (the comparison needs FeatureBytes).
+func (r *Runtime) resolveRep(mode OffloadMode) core.OffloadRep {
+	switch mode {
+	case OffloadFeatures:
+		return core.RepFeatures
+	case OffloadAuto:
+		if _, ok := r.cloud.(FeatureCloudClient); !ok {
+			return core.RepRaw
+		}
+		if r.cost == nil || r.cost.FeatureBytes <= 0 {
+			return core.RepRaw
+		}
+		rawJ := r.cost.WiFi.UploadEnergyJ(r.cost.ImageBytes)
+		featJ := r.cost.WiFi.UploadEnergyJ(r.cost.FeatureBytes)
+		if rawJ == 0 && featJ == 0 {
+			// Degenerate WiFi model: fall back to the byte comparison.
+			if r.cost.FeatureBytes < r.cost.ImageBytes {
+				return core.RepFeatures
+			}
+			return core.RepRaw
+		}
+		if featJ < rawJ {
+			return core.RepFeatures
+		}
+		return core.RepRaw
+	default:
+		return core.RepRaw
+	}
+}
+
 // Classify runs Algorithm 2 on a batch, updating the runtime's accounting.
 // All cloud-qualifying instances of the batch are offloaded in one batched
-// round trip (core.InferBatched); a failed call falls back to the edge
-// decision per instance, and β, bytes and energy stay per-instance.
+// round trip (core.InferBatchedRep) in the representation the offload mode
+// resolves to; failed instances are retried per the policy and then fall
+// back to the edge decision per instance, with β, bytes and energy staying
+// per-instance (every attempt transmitted, so every attempt is charged).
 func (r *Runtime) Classify(x *tensor.Tensor) ([]core.Decision, error) {
-	// Snapshot the whole policy under the lock before wiring the cloud path:
-	// SetThreshold mutates r.policy concurrently.
+	// Snapshot policy and mode under the lock before wiring the cloud path:
+	// SetThreshold/SetOffloadMode mutate them concurrently.
 	r.mu.Lock()
 	pol := r.policy
+	mode := r.mode
 	r.mu.Unlock()
+	rep := core.RepRaw
 	var cloudFn core.CloudBatchFunc
 	if pol.UseCloud && r.cloud != nil {
-		cloudFn = BatchOffload(r.cloud)
+		rep = r.resolveRep(mode)
+		if rep == core.RepFeatures {
+			fc, ok := r.cloud.(FeatureCloudClient)
+			if !ok {
+				return nil, fmt.Errorf("edge: offload mode %s needs a feature-capable cloud client", mode)
+			}
+			cloudFn = FeatureBatchOffload(fc)
+		} else {
+			cloudFn = BatchOffload(r.cloud)
+		}
 	}
-	decisions, err := r.net.InferBatched(x, pol, cloudFn)
+	decisions, err := r.net.InferBatchedRep(x, pol, rep, cloudFn)
 	if err != nil {
 		return nil, err
 	}
-	r.account(decisions)
+	r.account(decisions, rep)
 	return decisions, nil
 }
 
-// account folds a batch of decisions into the counters.
-func (r *Runtime) account(decisions []core.Decision) {
+// account folds a batch of decisions into the counters. rep is the upload
+// representation this batch used.
+func (r *Runtime) account(decisions []core.Decision, rep core.OffloadRep) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, d := range decisions {
@@ -125,6 +285,13 @@ func (r *Runtime) account(decisions []core.Decision) {
 		r.exits[d.Exit]++
 		if d.CloudFailed {
 			r.cloudFailures++
+		}
+		if d.CloudAttempts > 0 {
+			if rep == core.RepFeatures {
+				r.featUploads += d.CloudAttempts
+			} else {
+				r.rawUploads += d.CloudAttempts
+			}
 		}
 		if r.cost == nil {
 			continue
@@ -137,12 +304,13 @@ func (r *Runtime) account(decisions []core.Decision) {
 			r.energyTotal.ComputeJ += r.cost.Compute.EnergyJ(r.cost.ExtMACs)
 			r.latencyCompute += r.cost.Compute.Latency(r.cost.ExtMACs)
 		}
-		// Uploads cost energy whether or not the cloud answered (a failed
-		// attempt still transmitted).
-		if d.Exit == core.ExitCloud || d.CloudFailed {
-			r.bytesSent += r.cost.ImageBytes
-			r.energyTotal.CommJ += r.cost.WiFi.UploadEnergyJ(r.cost.ImageBytes)
-			r.latencyComm += r.cost.WiFi.UploadTime(r.cost.ImageBytes)
+		// Uploads cost bytes and energy whether or not the cloud answered (a
+		// failed attempt still transmitted), once per attempt.
+		if d.CloudAttempts > 0 {
+			up := r.cost.uploadBytes(rep)
+			r.bytesSent += int64(d.CloudAttempts) * up
+			r.energyTotal.CommJ += float64(d.CloudAttempts) * r.cost.WiFi.UploadEnergyJ(up)
+			r.latencyComm += time.Duration(d.CloudAttempts) * r.cost.WiFi.UploadTime(up)
 		}
 	}
 }
@@ -160,6 +328,8 @@ func (r *Runtime) Report() Report {
 		Exits:          exits,
 		CloudFailures:  r.cloudFailures,
 		BytesSent:      r.bytesSent,
+		RawUploads:     r.rawUploads,
+		FeatureUploads: r.featUploads,
 		Energy:         r.energyTotal,
 		LatencyCompute: r.latencyCompute,
 		LatencyComm:    r.latencyComm,
@@ -174,6 +344,8 @@ func (r *Runtime) Reset() {
 	r.exits = make(map[core.ExitPoint]int)
 	r.cloudFailures = 0
 	r.bytesSent = 0
+	r.rawUploads = 0
+	r.featUploads = 0
 	r.energyTotal = energy.Breakdown{}
 	r.latencyCompute = 0
 	r.latencyComm = 0

@@ -14,6 +14,7 @@ import (
 	"github.com/meanet/meanet/internal/cloud"
 	"github.com/meanet/meanet/internal/core"
 	"github.com/meanet/meanet/internal/edge"
+	"github.com/meanet/meanet/internal/energy"
 	"github.com/meanet/meanet/internal/models"
 	"github.com/meanet/meanet/internal/netsim"
 	"github.com/meanet/meanet/internal/nn"
@@ -514,6 +515,124 @@ func TestBatchedOffloadEndToEndBitwise(t *testing.T) {
 			t.Fatalf("feature %d: batch %d/%v, serial %d/%v (must be bitwise identical)",
 				i, preds[i], confs[i], pred, conf)
 		}
+	}
+}
+
+// TestOffloadModesEndToEndBitwiseTCP is the acceptance test of the adaptive
+// feature-vs-raw offload over real TCP: a tail-equipped server whose raw
+// model is the partitioned composition tail∘main must produce bitwise
+// identical predictions whether the edge uploads raw pixels, main-block
+// features, or lets auto mode choose — and with FeatureBytes < ImageBytes,
+// auto must resolve to features and send strictly fewer bytes than raw, both
+// in the modeled accounting and on the wire.
+func TestOffloadModesEndToEndBitwiseTCP(t *testing.T) {
+	// An edge MEANet whose main block downsamples: 3×16×16 input (768-elem
+	// images), main output 4×8×8 (256-elem features) — features are the
+	// cheaper upload in float32 wire bytes too.
+	rng := rand.New(rand.NewSource(90))
+	backbone, err := models.BuildResNet(rng, models.ResNetSpec{
+		Name: "edgeoffload", InChannels: 3, StemChannels: 4,
+		Channels: []int{4, 8}, Blocks: []int{1, 1}, Strides: []int{2, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.BuildMEANetA(rng, backbone, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := &cloud.Tail{Body: nn.Identity{}, Exit: models.NewExit(rng, "offtail", m.MainOutChannels(), 4)}
+	srv, err := cloud.NewServer(cloud.Partitioned(m.Main, tail), tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const batches, perBatch = 2, 6
+	inputs := make([]*tensor.Tensor, batches)
+	for i := range inputs {
+		inputs[i] = tensor.Randn(rng, 1, perBatch, 3, 16, 16)
+	}
+	// Modeled costs use the float32 wire sizes: features strictly cheaper.
+	cost := &edge.CostParams{
+		Compute:      energy.EdgeGPUCIFAR(),
+		WiFi:         energy.DefaultWiFi(),
+		ImageBytes:   4 * 3 * 16 * 16,                        // 3072
+		FeatureBytes: 4 * int64(m.MainOutChannels()) * 8 * 8, // 1024
+	}
+
+	type run struct {
+		dec   []core.Decision
+		rep   edge.Report
+		wire  uint64
+		trips uint64
+	}
+	runMode := func(mode edge.OffloadMode) run {
+		t.Helper()
+		client, err := edge.DialCloud(srv.Addr().String(), edge.DialConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		rt, err := edge.NewRuntime(m, core.Policy{Threshold: 0, UseCloud: true}, client, cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.SetOffloadMode(mode); err != nil {
+			t.Fatal(err)
+		}
+		before := srv.Stats().Requests
+		var dec []core.Decision
+		for _, x := range inputs {
+			d, err := rt.Classify(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec = append(dec, d...)
+		}
+		return run{dec: dec, rep: rt.Report(), wire: client.BytesSent(), trips: srv.Stats().Requests - before}
+	}
+
+	raw := runMode(edge.OffloadRaw)
+	feat := runMode(edge.OffloadFeatures)
+	auto := runMode(edge.OffloadAuto)
+
+	for _, r := range []run{raw, feat, auto} {
+		if r.trips != batches {
+			t.Fatalf("offload cost %d round trips for %d batches, want %d", r.trips, batches, batches)
+		}
+	}
+	for i := range raw.dec {
+		if raw.dec[i].Exit != core.ExitCloud {
+			t.Fatalf("instance %d did not exit at cloud: %+v", i, raw.dec[i])
+		}
+		if raw.dec[i].Pred != feat.dec[i].Pred || raw.dec[i].Pred != auto.dec[i].Pred ||
+			raw.dec[i].Exit != feat.dec[i].Exit || raw.dec[i].Exit != auto.dec[i].Exit {
+			t.Fatalf("instance %d diverged across modes: raw %+v, features %+v, auto %+v (must be bitwise identical)",
+				i, raw.dec[i], feat.dec[i], auto.dec[i])
+		}
+	}
+
+	// Auto resolved to features: strictly fewer bytes than raw, modeled and
+	// on the wire.
+	const n = batches * perBatch
+	if raw.rep.BytesSent != n*cost.ImageBytes || raw.rep.RawUploads != n {
+		t.Fatalf("raw accounting: %+v", raw.rep)
+	}
+	if auto.rep.BytesSent != n*cost.FeatureBytes || auto.rep.FeatureUploads != n {
+		t.Fatalf("auto accounting (should match features): %+v", auto.rep)
+	}
+	if auto.rep.BytesSent >= raw.rep.BytesSent {
+		t.Fatalf("auto modeled bytes %d not strictly fewer than raw %d", auto.rep.BytesSent, raw.rep.BytesSent)
+	}
+	if auto.wire >= raw.wire {
+		t.Fatalf("auto wire bytes %d not strictly fewer than raw %d", auto.wire, raw.wire)
+	}
+	if auto.wire != feat.wire {
+		t.Fatalf("auto wire bytes %d differ from features %d", auto.wire, feat.wire)
 	}
 }
 

@@ -38,6 +38,7 @@ func Runners() []Runner {
 		{"table5", wrap(TableV)},
 		{"table6", wrap(TableVI)},
 		{"table7", wrap(TableVII)},
+		{"offload-modes", wrap(OffloadModes)},
 		{"ablation-combine", wrap(AblationCombine)},
 		{"ablation-optimization", wrap(AblationOptimization)},
 		{"ablation-detector", wrap(AblationDetector)},

@@ -12,8 +12,10 @@ import (
 	"math/rand"
 	"sync"
 
+	"github.com/meanet/meanet/internal/cloud"
 	"github.com/meanet/meanet/internal/core"
 	"github.com/meanet/meanet/internal/data"
+	"github.com/meanet/meanet/internal/deploy"
 	"github.com/meanet/meanet/internal/energy"
 	"github.com/meanet/meanet/internal/metrics"
 	"github.com/meanet/meanet/internal/models"
@@ -124,6 +126,7 @@ type Context struct {
 	synths  map[string]*data.Synth
 	clouds  map[string]*models.Classifier
 	systems map[SystemKey]*System
+	tails   map[SystemKey]*cloud.Tail
 }
 
 // NewContext builds an experiment context.
@@ -133,7 +136,25 @@ func NewContext(cfg Config) *Context {
 		synths:  make(map[string]*data.Synth),
 		clouds:  make(map[string]*models.Classifier),
 		systems: make(map[SystemKey]*System),
+		tails:   make(map[SystemKey]*cloud.Tail),
 	}
+}
+
+// FeatureTail returns the cached partitioned-network tail for a system,
+// training it over the system's main-block features on first use.
+func (ctx *Context) FeatureTail(sys *System) (*cloud.Tail, error) {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	if t, ok := ctx.tails[sys.Key]; ok {
+		return t, nil
+	}
+	ctx.cfg.logf("[%s] training features tail (%d epochs)", sys.Key, ctx.cfg.CloudEpochs)
+	t, err := deploy.TrainTail(sys.Edge, sys.Train, ctx.cfg.Seed+900, ctx.cfg.CloudEpochs, nil)
+	if err != nil {
+		return nil, err
+	}
+	ctx.tails[sys.Key] = t
+	return t, nil
 }
 
 // Config returns the normalized configuration.

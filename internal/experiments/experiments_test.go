@@ -301,6 +301,51 @@ func TestTableVIIMatchesPaperConstants(t *testing.T) {
 	}
 }
 
+// TestOffloadModesInvariantAccuracy pins the experiment's headline claims:
+// against the partitioned cloud, accuracy and β are identical across raw,
+// features and auto modes, and auto's bytes equal the cheaper column.
+func TestOffloadModesInvariantAccuracy(t *testing.T) {
+	skipPaperScale(t)
+	r, err := OffloadModes(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("have %d rows, want 3", len(r.Rows))
+	}
+	raw, feat, auto := r.Rows[0], r.Rows[1], r.Rows[2]
+	if raw.Accuracy != feat.Accuracy || raw.Accuracy != auto.Accuracy {
+		t.Fatalf("accuracy not representation-invariant: raw %v, features %v, auto %v",
+			raw.Accuracy, feat.Accuracy, auto.Accuracy)
+	}
+	if raw.Beta != feat.Beta || raw.Beta != auto.Beta {
+		t.Fatalf("beta not representation-invariant: %v/%v/%v", raw.Beta, feat.Beta, auto.Beta)
+	}
+	if raw.FeatureUploads != 0 || feat.RawUploads != 0 {
+		t.Fatalf("uploads charged to the wrong representation: raw %+v, features %+v", raw, feat)
+	}
+	if raw.Beta > 0 {
+		if raw.BytesSent == 0 || feat.BytesSent == 0 {
+			t.Fatalf("offloads happened but bytes are zero: raw %+v, features %+v", raw, feat)
+		}
+		// Auto must equal the cheaper of the two fixed modes exactly.
+		want := raw.BytesSent
+		if feat.BytesSent < raw.BytesSent {
+			want = feat.BytesSent
+		}
+		if auto.BytesSent != want {
+			t.Fatalf("auto bytes %d, want cheaper column %d", auto.BytesSent, want)
+		}
+		if r.FeatureBytes < r.ImageBytes && auto.BytesSent >= raw.BytesSent {
+			t.Fatalf("features cheaper (%d < %d) but auto sent %d >= raw %d",
+				r.FeatureBytes, r.ImageBytes, auto.BytesSent, raw.BytesSent)
+		}
+	}
+	if testing.Verbose() {
+		t.Log("\n" + r.String())
+	}
+}
+
 func TestRunOneUnknownName(t *testing.T) {
 	if err := RunOne(sharedCtx, "fig99", &strings.Builder{}); err == nil {
 		t.Fatal("unknown experiment accepted")
@@ -309,8 +354,8 @@ func TestRunOneUnknownName(t *testing.T) {
 
 func TestNamesComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 16 {
-		t.Fatalf("have %d experiments, want 16", len(names))
+	if len(names) != 17 {
+		t.Fatalf("have %d experiments, want 17", len(names))
 	}
 	seen := map[string]bool{}
 	for _, n := range names {
@@ -319,7 +364,7 @@ func TestNamesComplete(t *testing.T) {
 		}
 		seen[n] = true
 	}
-	for _, want := range []string{"fig7", "table2", "table6", "ablation-combine"} {
+	for _, want := range []string{"fig7", "table2", "table6", "offload-modes", "ablation-combine"} {
 		if !seen[want] {
 			t.Fatalf("experiment %q missing", want)
 		}

@@ -1,0 +1,195 @@
+package protocol
+
+// Native Go fuzz targets for the wire format. Two families:
+//
+//   - round-trip targets feed structured inputs through Write/Encode then
+//     Read/Decode and require lossless reconstruction (all message types,
+//     including the two batch frames — any NCHW tensor payload is covered by
+//     the tensor round-trip since batch frames differ only in MsgType);
+//   - decoder targets feed arbitrary bytes into the parsers and require
+//     graceful errors, never panics or unbounded allocations.
+//
+// CI runs each target briefly (-fuzztime 20s) as a smoke job; longer local
+// runs just work: go test -fuzz FuzzReadFrame ./internal/protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+// frameTypes lists every message type, including the batch frames.
+var frameTypes = []MsgType{
+	MsgClassifyRaw, MsgClassifyFeat, MsgResult, MsgError, MsgPing, MsgPong,
+	MsgClassifyBatch, MsgResultBatch, MsgClassifyFeatBatch,
+}
+
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint64(7), []byte("payload"))
+	f.Add(uint8(9), uint64(0), []byte{})
+	f.Add(uint8(255), uint64(math.MaxUint64), []byte{0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, typ uint8, id uint64, payload []byte) {
+		in := Frame{Type: MsgType(typ), ID: id, Payload: payload}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, in); err != nil {
+			t.Fatalf("write rejected a bounded frame: %v", err)
+		}
+		out, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read back: %v", err)
+		}
+		if out.Type != in.Type || out.ID != in.ID || !bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("round trip mutated frame: sent %+v, got %+v", in, out)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("%d trailing bytes after one frame", buf.Len())
+		}
+	})
+}
+
+// FuzzFrameAllTypesRoundTrip drives one frame of every message type through
+// the stream with a shared payload, checking order and integrity — the
+// pipelined client depends on frames never bleeding into each other.
+func FuzzFrameAllTypesRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint64(1))
+	f.Add([]byte("tensor-ish payload"), uint64(42))
+	f.Fuzz(func(t *testing.T, payload []byte, idBase uint64) {
+		var buf bytes.Buffer
+		for i, typ := range frameTypes {
+			if err := WriteFrame(&buf, Frame{Type: typ, ID: idBase + uint64(i), Payload: payload}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, typ := range frameTypes {
+			got, err := ReadFrame(&buf)
+			if err != nil {
+				t.Fatalf("frame %d (%s): %v", i, typ, err)
+			}
+			if got.Type != typ || got.ID != idBase+uint64(i) || !bytes.Equal(got.Payload, payload) {
+				t.Fatalf("frame %d mangled: %+v", i, got)
+			}
+		}
+	})
+}
+
+// FuzzReadFrame feeds arbitrary bytes into the frame parser: it must return
+// an error or a frame, never panic, and never allocate past MaxPayload.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte("MEA1"))
+	f.Add([]byte{})
+	// A valid frame as a seed so the fuzzer explores the accept path.
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, Frame{Type: MsgClassifyBatch, ID: 3, Payload: []byte{1, 2, 3}})
+	f.Add(buf.Bytes())
+	// An oversized length field.
+	hdr := make([]byte, headerLen)
+	copy(hdr, magic)
+	binary.LittleEndian.PutUint32(hdr[13:], math.MaxUint32)
+	f.Add(hdr)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(fr.Payload) > MaxPayload {
+			t.Fatalf("accepted payload of %d bytes past the %d limit", len(fr.Payload), MaxPayload)
+		}
+		// Whatever parsed must survive a write/read cycle unchanged.
+		var out bytes.Buffer
+		if err := WriteFrame(&out, fr); err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		back, err := ReadFrame(&out)
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		if back.Type != fr.Type || back.ID != fr.ID || !bytes.Equal(back.Payload, fr.Payload) {
+			t.Fatalf("accepted frame unstable: %+v vs %+v", fr, back)
+		}
+	})
+}
+
+// FuzzDecodeTensor feeds arbitrary bytes into the tensor decoder; accepted
+// tensors must re-encode to the exact input payload (the encoding is
+// canonical), bit-for-bit even for NaN float patterns.
+func FuzzDecodeTensor(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0})
+	f.Add(EncodeTensor(tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 1, 2, 3)))
+	f.Add(EncodeTensor(tensor.FromSlice([]float32{float32(math.NaN()), 0}, 2)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tt, err := DecodeTensor(data)
+		if err != nil {
+			return
+		}
+		if got := EncodeTensor(tt); !bytes.Equal(got, data) {
+			t.Fatalf("accepted tensor is not canonical: decode(%d bytes) re-encodes to %d different bytes",
+				len(data), len(got))
+		}
+	})
+}
+
+// FuzzTensorRoundTrip builds small tensors from fuzzed dimensions and data
+// and requires a lossless encode/decode cycle.
+func FuzzTensorRoundTrip(f *testing.F) {
+	f.Add(uint8(2), uint8(3), uint8(4), int64(1))
+	f.Add(uint8(1), uint8(1), uint8(1), int64(-7))
+	f.Fuzz(func(t *testing.T, a, b, c uint8, seed int64) {
+		shape := []int{int(a)%8 + 1, int(b)%8 + 1, int(c)%8 + 1}
+		n := shape[0] * shape[1] * shape[2]
+		data := make([]float32, n)
+		s := uint64(seed)
+		for i := range data {
+			s = s*6364136223846793005 + 1442695040888963407
+			data[i] = math.Float32frombits(uint32(s >> 32))
+		}
+		in := tensor.FromSlice(data, shape...)
+		out, err := DecodeTensor(EncodeTensor(in))
+		if err != nil {
+			t.Fatalf("decode of valid encoding: %v", err)
+		}
+		if !out.SameShape(in) {
+			t.Fatalf("shape %v became %v", in.Shape(), out.Shape())
+		}
+		for i, v := range out.Data() {
+			if math.Float32bits(v) != math.Float32bits(in.Data()[i]) {
+				t.Fatalf("element %d: %x became %x", i, math.Float32bits(in.Data()[i]), math.Float32bits(v))
+			}
+		}
+	})
+}
+
+// FuzzDecodeResults feeds arbitrary bytes into the result-batch decoder;
+// accepted batches must re-encode canonically.
+func FuzzDecodeResults(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeResults(nil))
+	f.Add(EncodeResults([]Result{{Pred: 3, Conf: 0.5}, {Pred: -1, Conf: float32(math.Inf(1))}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rs, err := DecodeResults(data)
+		if err != nil {
+			return
+		}
+		if got := EncodeResults(rs); !bytes.Equal(got, data) {
+			t.Fatalf("accepted result batch is not canonical (%d vs %d bytes)", len(got), len(data))
+		}
+	})
+}
+
+// FuzzDecodeResult covers the single-result payload.
+func FuzzDecodeResult(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeResult(7, 0.25))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pred, conf, err := DecodeResult(data)
+		if err != nil {
+			return
+		}
+		if got := EncodeResult(pred, conf); !bytes.Equal(got, data) {
+			t.Fatalf("accepted result is not canonical")
+		}
+	})
+}

@@ -91,6 +91,8 @@ type (
 	// CloudBatchFunc classifies a stacked batch on the cloud in one round
 	// trip, with per-instance error granularity.
 	CloudBatchFunc = core.CloudBatchFunc
+	// OffloadRep is the resolved upload representation of a batched offload.
+	OffloadRep = core.OffloadRep
 	// EvalReport scores an inference run.
 	EvalReport = core.EvalReport
 	// HardnessDetector is the optional learned easy/hard detector (§III-B).
@@ -110,6 +112,13 @@ const (
 	ExitMain      = core.ExitMain
 	ExitExtension = core.ExitExtension
 	ExitCloud     = core.ExitCloud
+
+	RepRaw      = core.RepRaw
+	RepFeatures = core.RepFeatures
+
+	OffloadRaw      = edge.OffloadRaw
+	OffloadFeatures = edge.OffloadFeatures
+	OffloadAuto     = edge.OffloadAuto
 )
 
 // Distributed system types.
@@ -118,6 +127,13 @@ type (
 	CloudServer = cloud.Server
 	// CloudClient is the edge-side cloud transport.
 	CloudClient = edge.CloudClient
+	// FeatureCloudClient is a transport that also carries the §III-C
+	// "sending features" mode.
+	FeatureCloudClient = edge.FeatureCloudClient
+	// CloudTail is the cloud half of a partitioned network (features mode).
+	CloudTail = cloud.Tail
+	// OffloadMode selects the upload representation (raw/features/auto).
+	OffloadMode = edge.OffloadMode
 	// TCPClient talks to a CloudServer over TCP.
 	TCPClient = edge.TCPClient
 	// InProcClient serves cloud requests in-process (simulation).
@@ -208,6 +224,13 @@ var (
 	// BatchOffload adapts a CloudClient's batch call into a CloudBatchFunc
 	// (one round trip per batch — the serving default).
 	BatchOffload = edge.BatchOffload
+	// FeatureBatchOffload is BatchOffload for the features representation.
+	FeatureBatchOffload = edge.FeatureBatchOffload
+	// ParseOffloadMode parses raw|features|auto.
+	ParseOffloadMode = edge.ParseOffloadMode
+	// Partitioned composes an edge main block with a features tail into a
+	// raw cloud model (bitwise-identical answers for both representations).
+	Partitioned = cloud.Partitioned
 
 	// DefaultWiFi returns the paper's WiFi constants.
 	DefaultWiFi = energy.DefaultWiFi
