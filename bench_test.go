@@ -13,6 +13,7 @@ package meanet_test
 import (
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -444,6 +445,95 @@ func BenchmarkCloudOffloadModes(b *testing.B) {
 			b.ReportMetric(float64(client.BytesSent())/float64(b.N), "upload-B/op")
 		})
 	}
+}
+
+// BenchmarkAdaptiveOffload measures the closed-loop adaptation on a real TCP
+// transport whose shaped link alternates between a fast and a degraded state
+// mid-run (netsim.ShapeVar): the runtime, in auto mode with a latency
+// budget, is expected to ride the changes by flipping the upload
+// representation, with the live estimator fed by the client's own round
+// trips. Reported per op: images/s, actual upload bytes, and cumulative
+// representation flips.
+func BenchmarkAdaptiveOffload(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	backbone, err := models.BuildResNet(rng, models.ResNetSpec{
+		Name: "adaptbench", InChannels: 3, StemChannels: 4,
+		Channels: []int{4, 8}, Blocks: []int{1, 1}, Strides: []int{2, 2},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.BuildMEANetA(rng, backbone, 1, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tail := &cloud.Tail{Body: nn.Identity{}, Exit: models.NewExit(rng, "adapttail", m.MainOutChannels(), 8)}
+	srv, err := cloud.NewServer(cloud.Partitioned(m.Main, tail), tail)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	// The good link's send phase must exceed linkest's MinSendDur (1ms) or
+	// the estimator (correctly) refuses to rate it.
+	good := netsim.Link{Latency: time.Millisecond, Mbps: 500}
+	degraded := netsim.Link{Latency: 2 * time.Millisecond, Mbps: 2}
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	shaper := netsim.ShapeVar(conn, good)
+	client := edge.NewClientOnConn(shaper, edge.DialConfig{})
+	defer client.Close()
+
+	const n = 16
+	x := tensor.Randn(rng, 1, n, 3, 16, 16)
+	cost := &edge.CostParams{
+		Compute:      energy.EdgeGPUCIFAR(),
+		WiFi:         energy.DefaultWiFi(),
+		ImageBytes:   4 * 3 * 16 * 16,
+		FeatureBytes: 4 * int64(m.MainOutChannels()) * 8 * 8,
+	}
+	rt, err := edge.NewRuntime(m, core.Policy{Threshold: 0, UseCloud: true}, client, cost)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rt.SetOffloadMode(edge.OffloadAuto); err != nil {
+		b.Fatal(err)
+	}
+	// Budget between raw's PER-INSTANCE upload latency on the two links
+	// (the unit the runtime's live decision compares): raw affordable on
+	// the fast link only.
+	rt.SetLatencyBudget((good.TransferTime(cost.ImageBytes) + degraded.TransferTime(cost.ImageBytes)) / 2)
+
+	// Mature the estimator on the fast link before measuring.
+	for i := 0; i < 10; i++ {
+		if _, err := rt.Classify(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	warmupBytes := client.BytesSent() // rebaseline: warm-up uploads are not ops
+	// Phases of 8 ops per link state — long enough for the EWMA (α=0.25)
+	// to converge onto each state before the next switch.
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%16 == 8 {
+			shaper.SetLink(degraded)
+		} else if i%16 == 0 {
+			shaper.SetLink(good)
+		}
+		if _, err := rt.Classify(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	rep := rt.Report()
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "images/s")
+	b.ReportMetric(float64(client.BytesSent()-warmupBytes)/float64(b.N), "upload-B/op")
+	b.ReportMetric(float64(rep.RepFlips), "rep-flips")
 }
 
 func BenchmarkProtocolTensorRoundTrip(b *testing.B) {

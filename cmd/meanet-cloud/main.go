@@ -208,6 +208,8 @@ func serve(raw cloud.Model, tail *cloud.Tail, addr, dataset string, classes, bat
 	st := srv.Stats()
 	fmt.Fprintf(os.Stderr, "served %d requests (%d errors, %d conns, %d bytes in, %d out)\n",
 		st.Requests, st.Errors, st.TotalConns, st.BytesIn, st.BytesOut)
+	fmt.Fprintf(os.Stderr, "load at shutdown: %d in flight, %d queued (piggybacked to edges on every result)\n",
+		st.InFlight, st.QueueDepth)
 	if st.Batches > 0 {
 		fmt.Fprintf(os.Stderr, "micro-batching: %d requests over %d forwards (mean batch %.1f)\n",
 			st.BatchedRequests, st.Batches, float64(st.BatchedRequests)/float64(st.Batches))

@@ -9,6 +9,7 @@
 //	            [-scale tiny|small|full] [-seed N] [-threshold T]
 //	            [-variant A|B] [-latency 10ms] [-mbps 18.88] [-batch N]
 //	            [-offload raw|features|auto] [-retries N]
+//	            [-latency-budget 20ms] [-adapt-min-samples N]
 //
 // Start meanet-cloud first with the same -dataset, -scale, -seed and
 // -variant so both ends agree on the synthetic dataset, class count and —
@@ -23,6 +24,16 @@
 // the modeled bytes/energy of the two and picks the cheaper per batch.
 // Failed instances are re-offloaded -retries times before falling back to
 // the edge decision per instance.
+//
+// With -latency-budget the adaptation closes the loop on LIVE link
+// estimates: the TCP client measures uplink bandwidth and cloud turnaround
+// on every round trip (and receives the server's queue depth piggybacked on
+// result frames), auto mode prefers raw uploads while they fit the budget
+// and falls back to the compact feature representation when the measured
+// link no longer affords them, and the entropy threshold is re-tuned after
+// every batch — up when observed cloud latency blows the budget, down when
+// there is headroom. A broken connection is redialed with backoff instead
+// of bricking the client.
 package main
 
 import (
@@ -61,6 +72,8 @@ func run(args []string) error {
 	batch := fs.Int("batch", 64, "inference batch size (complex instances of a batch share one cloud round trip)")
 	offload := fs.String("offload", "raw", "upload representation: raw, features or auto (cheaper of the two)")
 	retries := fs.Int("retries", 1, "re-offload attempts for instances whose cloud call failed")
+	budget := fs.Duration("latency-budget", 0, "per-offload cloud latency budget for closed-loop adaptation (0 = off)")
+	minSamples := fs.Int("adapt-min-samples", 0, "round trips before live link estimates drive adaptation (0 = default 8)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,6 +140,7 @@ func run(args []string) error {
 
 	// Cloud transport.
 	var client edge.CloudClient
+	var tcpClient *edge.TCPClient
 	useCloud := *cloudAddr != ""
 	if useCloud {
 		tcp, err := edge.DialCloud(*cloudAddr, edge.DialConfig{
@@ -141,6 +155,7 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "connected to cloud at %s\n", *cloudAddr)
 		client = tcp
+		tcpClient = tcp
 	}
 
 	// Energy model. FeatureBytes comes from the main block's actual output
@@ -162,6 +177,9 @@ func run(args []string) error {
 		WiFi:         energy.DefaultWiFi(),
 		ImageBytes:   energy.RawImageBytes(inShape.H, inShape.W, inShape.C),
 		FeatureBytes: energy.FeatureBytes(int64(feat.Numel())),
+		// The wire ships float32 tensors (protocol.EncodeTensor), 4× the
+		// 8-bit modeled image; live latency predictions must use this.
+		WireImageBytes: 4 * int64(inShape.C) * int64(inShape.H) * int64(inShape.W),
 	}
 
 	rt, err := edge.NewRuntime(m, core.Policy{Threshold: th, UseCloud: useCloud, CloudRetries: *retries}, client, cost)
@@ -170,6 +188,16 @@ func run(args []string) error {
 	}
 	if err := rt.SetOffloadMode(mode); err != nil {
 		return err
+	}
+	// The sample gate applies whenever live estimates drive decisions (auto
+	// mode uses them with or without a budget), so it is configured
+	// independently of -latency-budget.
+	if *minSamples > 0 {
+		rt.SetAdaptConfig(edge.AdaptConfig{MinSamples: *minSamples})
+	}
+	if *budget > 0 {
+		rt.SetLatencyBudget(*budget)
+		fmt.Fprintf(os.Stderr, "closed-loop adaptation on: latency budget %v\n", *budget)
 	}
 	fmt.Fprintf(os.Stderr, "offload mode %s (image %dB, features %dB per instance)\n",
 		mode, cost.ImageBytes, cost.FeatureBytes)
@@ -215,6 +243,19 @@ func run(args []string) error {
 		rep.Energy.ComputeJ, rep.Energy.CommJ, rep.Energy.TotalJ())
 	fmt.Printf("modeled latency:  %v compute + %v upload\n",
 		rep.LatencyCompute.Round(time.Microsecond), rep.LatencyComm.Round(time.Microsecond))
+	if *budget > 0 {
+		fmt.Printf("adaptation:       threshold %.3f (started %.3f), %d representation flips\n",
+			rep.Threshold, th, rep.RepFlips)
+	}
+	if tcpClient != nil {
+		est := tcpClient.LinkEstimate()
+		fmt.Printf("link estimate:    rtt %v, %.2f Mbps over %d samples\n",
+			est.RTT.Round(time.Microsecond), est.Mbps, est.Samples)
+		if load, ok := tcpClient.CloudLoad(); ok {
+			fmt.Printf("cloud load:       queue %d, active %d (last piggybacked status)\n",
+				load.QueueDepth, load.Active)
+		}
+	}
 	return nil
 }
 

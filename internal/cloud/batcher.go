@@ -62,6 +62,7 @@ type batcher struct {
 
 	batches     atomic.Uint64 // forward passes run
 	batchedReqs atomic.Uint64 // requests served through those passes
+	queued      atomic.Int64  // requests accepted but not yet answered
 }
 
 // newBatcher starts the collector goroutine.
@@ -82,9 +83,16 @@ func newBatcher(cfg BatchConfig, infer func(*tensor.Tensor) *tensor.Tensor) *bat
 // forward completes (or the batcher shuts down).
 func (b *batcher) classify(img *tensor.Tensor) (int32, float32, error) {
 	req := batchRequest{img: img, resp: make(chan batchResponse, 1)}
+	// queued counts requests PARKED ahead of a forward pass (the
+	// backpressure signal); run() decrements it when the batch starts
+	// executing. Every submitted request reaches run() exactly once — the
+	// collector serves accepted batches even during shutdown, and a
+	// shape-flushed pending request seeds the next batch unconditionally.
+	b.queued.Add(1)
 	select {
 	case b.reqs <- req:
 	case <-b.done:
+		b.queued.Add(-1) // never submitted
 		return 0, 0, errBatcherClosed
 	}
 	// Once the collector has accepted the request (the unbuffered send above
@@ -97,6 +105,12 @@ func (b *batcher) classify(img *tensor.Tensor) (int32, float32, error) {
 	r := <-req.resp
 	return r.pred, r.conf, r.err
 }
+
+// depth reports the requests parked ahead of a forward pass — the
+// queue-depth half of the backpressure signal piggybacked on result frames.
+// Requests whose batch is currently executing are not parked (they count as
+// served in the server's Active number instead).
+func (b *batcher) depth() int64 { return b.queued.Load() }
 
 // close stops the collector. Safe to call multiple times.
 func (b *batcher) close() {
@@ -143,6 +157,7 @@ func (b *batcher) collect() {
 // run stacks a shape-uniform batch into one NCHW tensor, executes a single
 // forward pass and fans the per-row results (or a shared error) back out.
 func (b *batcher) run(batch []batchRequest) {
+	b.queued.Add(-int64(len(batch))) // now executing, no longer parked
 	x := tensor.New(append([]int{len(batch)}, batch[0].img.Shape()...)...)
 	for i, r := range batch {
 		copy(x.Sample(i).Data(), r.img.Data())

@@ -73,6 +73,11 @@ type Stats struct {
 	// served. Zero when batching is disabled.
 	Batches         uint64
 	BatchedRequests uint64
+	// InFlight and QueueDepth snapshot the instantaneous load — the same
+	// numbers piggybacked on every result frame as the backpressure signal
+	// (protocol.LoadStatus).
+	InFlight   int64
+	QueueDepth int64
 }
 
 // Server serves classification requests over TCP.
@@ -94,6 +99,7 @@ type Server struct {
 	bytesOut   atomic.Uint64
 	active     atomic.Int64
 	total      atomic.Uint64
+	inflight   atomic.Int64 // requests currently being dispatched
 }
 
 // Option configures optional server behaviour.
@@ -186,7 +192,36 @@ func (s *Server) Stats() Stats {
 		st.Batches += s.featBatch.batches.Load()
 		st.BatchedRequests += s.featBatch.batchedReqs.Load()
 	}
+	st.InFlight = s.inflight.Load()
+	st.QueueDepth = int64(s.loadStatus().QueueDepth)
 	return st
+}
+
+// loadStatus snapshots the backpressure counters piggybacked on every result
+// frame: collector queue depth plus the count of requests actually being
+// SERVED (in-flight dispatches minus those parked in a collector — a parked
+// request would otherwise count on both sides and saturation, queue
+// outgrowing service, could never be observed). Reading a few atomics costs
+// nothing next to a forward pass, and the edge gets a live congestion
+// signal with zero extra round trips.
+func (s *Server) loadStatus() protocol.LoadStatus {
+	var queued int64
+	if s.batch != nil {
+		queued += s.batch.depth()
+	}
+	if s.featBatch != nil {
+		queued += s.featBatch.depth()
+	}
+	clamp := func(v int64) uint32 {
+		if v < 0 {
+			return 0
+		}
+		return uint32(v)
+	}
+	return protocol.LoadStatus{
+		QueueDepth: clamp(queued),
+		Active:     clamp(s.inflight.Load() - queued),
+	}
 }
 
 // Close stops accepting, closes all active connections and waits for
@@ -276,7 +311,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			conn.Close() // fail the read loop too; the peer is gone
 			return
 		}
-		s.bytesOut.Add(uint64(len(resp.Payload)))
+		s.bytesOut.Add(uint64(protocol.FrameWireSize(len(resp.Payload))))
 	}
 	for {
 		f, err := protocol.ReadFrame(conn)
@@ -286,7 +321,9 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			return // malformed stream or peer gone: drop the connection
 		}
-		s.bytesIn.Add(uint64(len(f.Payload)))
+		// Full frame size, header included: the client's BytesSent counter
+		// accounts whole frames, and the two ends must agree bitwise.
+		s.bytesIn.Add(uint64(protocol.FrameWireSize(len(f.Payload))))
 		collected := f.Type == protocol.MsgClassifyRaw && s.batch != nil ||
 			f.Type == protocol.MsgClassifyFeat && s.featBatch != nil
 		if collected {
@@ -310,6 +347,8 @@ func (s *Server) handleConn(conn net.Conn) {
 // dispatch computes the response frame for a request frame.
 func (s *Server) dispatch(f protocol.Frame) protocol.Frame {
 	s.requests.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	switch f.Type {
 	case protocol.MsgPing:
 		return protocol.Frame{Type: protocol.MsgPong, ID: f.ID}
@@ -358,7 +397,7 @@ func (s *Server) classify(f protocol.Frame, logits func(*tensor.Tensor) *tensor.
 	return protocol.Frame{
 		Type:    protocol.MsgResult,
 		ID:      f.ID,
-		Payload: protocol.EncodeResult(int32(pred), conf),
+		Payload: protocol.EncodeResultLoad(int32(pred), conf, s.loadStatus()),
 	}
 }
 
@@ -382,7 +421,7 @@ func (s *Server) classifyCollected(b *batcher, f protocol.Frame) protocol.Frame 
 	return protocol.Frame{
 		Type:    protocol.MsgResult,
 		ID:      f.ID,
-		Payload: protocol.EncodeResult(pred, conf),
+		Payload: protocol.EncodeResultLoad(pred, conf, s.loadStatus()),
 	}
 }
 
@@ -412,7 +451,7 @@ func (s *Server) classifyBatchFrame(f protocol.Frame, logits func(*tensor.Tensor
 	return protocol.Frame{
 		Type:    protocol.MsgResultBatch,
 		ID:      f.ID,
-		Payload: protocol.EncodeResults(results),
+		Payload: protocol.EncodeResultsLoad(results, s.loadStatus()),
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/meanet/meanet/internal/core"
+	"github.com/meanet/meanet/internal/linkest"
 	"github.com/meanet/meanet/internal/netsim"
 	"github.com/meanet/meanet/internal/protocol"
 	"github.com/meanet/meanet/internal/tensor"
@@ -152,6 +153,19 @@ type DialConfig struct {
 	RequestTimeout time.Duration
 	// Link, when non-zero, shapes uploads through a simulated WiFi/WAN link.
 	Link netsim.Link
+	// Redial, when non-nil, lets the client replace a broken connection
+	// with a fresh one (DialCloud installs a redial of the original
+	// address; NewClientOnConn callers may inject their own). Without it a
+	// transport error is terminal, as before.
+	Redial func() (net.Conn, error)
+	// RedialBackoff is the wait before the first redial after a failure
+	// (default 50ms); it doubles per consecutive failed redial up to
+	// RedialBackoffMax (default 2s) and resets on success.
+	RedialBackoff time.Duration
+	// RedialBackoffMax caps the exponential redial backoff.
+	RedialBackoffMax time.Duration
+	// Estimator tunes the built-in link estimator (zero value = defaults).
+	Estimator linkest.Config
 }
 
 func (c *DialConfig) fillDefaults() {
@@ -160,6 +174,12 @@ func (c *DialConfig) fillDefaults() {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 10 * time.Second
+	}
+	if c.RedialBackoff <= 0 {
+		c.RedialBackoff = 50 * time.Millisecond
+	}
+	if c.RedialBackoffMax <= 0 {
+		c.RedialBackoffMax = 2 * time.Second
 	}
 }
 
@@ -173,13 +193,27 @@ type TCPClient struct {
 
 	wmu sync.Mutex // serializes frame writes onto the connection
 
-	mu      sync.Mutex // guards conn, pending, nextID, failure
+	mu      sync.Mutex // guards conn, pending, nextID, failure, redial state
 	conn    net.Conn
+	gen     uint64 // connection generation; bumped on every successful redial
+	closed  bool
 	pending map[uint64]chan clientResult
 	nextID  uint64
-	broken  error // terminal transport error observed by the reader
+	broken  error // transport error observed on the CURRENT connection
+
+	// Redial backoff state: after a failed redial the client fails fast
+	// until nextRedial, doubling the wait per consecutive failure.
+	backoff    time.Duration
+	nextRedial time.Time
+	redialing  bool // a goroutine is dialing outside the lock; others fail fast
 
 	bytesSent atomic.Uint64
+
+	est *linkest.Estimator
+
+	loadMu   sync.Mutex
+	lastLoad protocol.LoadStatus
+	haveLoad bool
 }
 
 // clientResult carries one matched response frame (or the transport error
@@ -191,47 +225,79 @@ type clientResult struct {
 
 var _ FeatureCloudClient = (*TCPClient)(nil)
 
-// DialCloud connects to a cloud server.
+// DialCloud connects to a cloud server. The client redials the address
+// (with exponential backoff) if the connection later breaks, so a transient
+// transport error no longer bricks the client for the life of the process.
 func DialCloud(addr string, cfg DialConfig) (*TCPClient, error) {
 	cfg.fillDefaults()
 	if err := cfg.Link.Validate(); err != nil {
 		return nil, err
 	}
-	conn, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	if cfg.Redial == nil {
+		link := cfg.Link
+		timeout := cfg.DialTimeout
+		cfg.Redial = func() (net.Conn, error) {
+			conn, err := net.DialTimeout("tcp", addr, timeout)
+			if err != nil {
+				return nil, err
+			}
+			return netsim.Shape(conn, link), nil
+		}
+	}
+	conn, err := cfg.Redial()
 	if err != nil {
 		return nil, fmt.Errorf("edge: dial cloud %s: %w", addr, err)
 	}
-	return newTCPClient(netsim.Shape(conn, cfg.Link), cfg), nil
+	return newTCPClient(conn, cfg), nil
 }
 
 // NewClientOnConn wraps an existing connection (used by tests to inject
-// faulty transports).
+// faulty transports). Without cfg.Redial a transport error is terminal —
+// there is no address to redial.
 func NewClientOnConn(conn net.Conn, cfg DialConfig) *TCPClient {
 	cfg.fillDefaults()
 	return newTCPClient(conn, cfg)
 }
 
 func newTCPClient(conn net.Conn, cfg DialConfig) *TCPClient {
-	c := &TCPClient{cfg: cfg, conn: conn, pending: make(map[uint64]chan clientResult)}
-	go c.readLoop(conn)
+	c := &TCPClient{
+		cfg:     cfg,
+		conn:    conn,
+		pending: make(map[uint64]chan clientResult),
+		backoff: cfg.RedialBackoff,
+		est:     linkest.New(cfg.Estimator),
+	}
+	go c.readLoop(conn, c.gen)
 	return c
 }
 
-// readLoop is the demultiplexer: it owns all reads from the connection and
+// readLoop is the demultiplexer: it owns all reads from one connection and
 // routes each response frame to the goroutine whose request ID it carries.
-// Frames for requests that already timed out are dropped. A read error is
-// terminal: every in-flight and future request fails with it.
-func (c *TCPClient) readLoop(conn net.Conn) {
+// Frames for requests that already timed out are dropped. A read error fails
+// every request in flight on this connection; with a Redial configured, a
+// LATER send may replace the connection (see send), so the error is terminal
+// only for this generation.
+func (c *TCPClient) readLoop(conn net.Conn, gen uint64) {
 	for {
 		f, err := protocol.ReadFrame(conn)
 		if err != nil {
-			c.fail(err)
+			c.fail(err, gen)
 			return
 		}
 		c.mu.Lock()
 		ch, ok := c.pending[f.ID]
 		if ok {
 			delete(c.pending, f.ID)
+		}
+		// A delivered response proves the link healthy end to end; only now
+		// is the redial backoff credit restored (a successful DIAL is not
+		// proof — an accept-then-die endpoint would otherwise reconnect at
+		// full client rate for the whole outage). Only the CURRENT
+		// generation's responses count: a late frame surfacing from a dead
+		// connection's read loop says nothing about the replacement path.
+		if gen == c.gen {
+			c.backoff = c.cfg.RedialBackoff
+			c.nextRedial = time.Time{}
 		}
 		c.mu.Unlock()
 		if ok {
@@ -240,9 +306,16 @@ func (c *TCPClient) readLoop(conn net.Conn) {
 	}
 }
 
-// fail marks the transport broken and fans the error out to all waiters.
-func (c *TCPClient) fail(err error) {
+// fail marks generation gen of the transport broken and fans the error out
+// to all waiters. A stale generation (the connection was already replaced by
+// a redial) is a no-op: its waiters were drained when that generation first
+// failed, and the pending map now belongs to the new connection.
+func (c *TCPClient) fail(err error, gen uint64) {
 	c.mu.Lock()
+	if gen != c.gen {
+		c.mu.Unlock()
+		return
+	}
 	if c.broken == nil {
 		c.broken = err
 	}
@@ -254,43 +327,113 @@ func (c *TCPClient) fail(err error) {
 	}
 }
 
-// send registers a waiter and writes one request frame. It returns the
-// request ID and the waiter channel to receive the matched response on.
-func (c *TCPClient) send(msgType protocol.MsgType, payload []byte) (uint64, chan clientResult, error) {
+// reconnectLocked replaces a broken connection with a freshly dialed one.
+// Caller holds c.mu with c.broken != nil; the lock is RELEASED around the
+// dial itself (which can block for DialTimeout) so concurrent senders fail
+// fast with "redial in progress" and Close never waits on a dial, and is
+// re-held on return. The poisoned-stream safety argument is preserved: the
+// old connection is never written to again — a brand-new connection (and
+// generation) carries subsequent requests, so a partial frame left by a
+// failed write can never be followed by more bytes.
+func (c *TCPClient) reconnectLocked() error {
+	if c.cfg.Redial == nil {
+		return fmt.Errorf("edge: connection broken: %w", c.broken)
+	}
+	if c.redialing {
+		return fmt.Errorf("edge: connection broken (redial in progress): %w", c.broken)
+	}
+	if now := time.Now(); now.Before(c.nextRedial) {
+		return fmt.Errorf("edge: connection broken (redial in %v): %w",
+			c.nextRedial.Sub(now).Round(time.Millisecond), c.broken)
+	}
+	c.redialing = true
+	c.mu.Unlock()
+	conn, err := c.cfg.Redial()
 	c.mu.Lock()
-	if c.conn == nil {
+	c.redialing = false
+	if c.closed {
+		if err == nil {
+			conn.Close()
+		}
+		return errors.New("edge: client closed")
+	}
+	if err != nil {
+		c.nextRedial = time.Now().Add(c.backoff)
+		c.backoff *= 2
+		if c.backoff > c.cfg.RedialBackoffMax {
+			c.backoff = c.cfg.RedialBackoffMax
+		}
+		return fmt.Errorf("edge: redial: %w", err)
+	}
+	old := c.conn
+	c.conn = conn
+	c.broken = nil
+	c.gen++
+	// A successful dial CONSUMES backoff credit rather than restoring it:
+	// the next redial may not run before the current backoff elapses, and
+	// the wait keeps doubling, until a response frame proves the link
+	// healthy (see readLoop). Otherwise an endpoint that accepts and
+	// immediately dies would be redialed at full client rate.
+	c.nextRedial = time.Now().Add(c.backoff)
+	c.backoff *= 2
+	if c.backoff > c.cfg.RedialBackoffMax {
+		c.backoff = c.cfg.RedialBackoffMax
+	}
+	// The new path may have different characteristics; discard the dead
+	// connection's link estimate rather than adapt on stale numbers (the
+	// runtime falls back to its static model until fresh samples mature).
+	c.est.Reset()
+	go c.readLoop(conn, c.gen)
+	if old != nil {
+		old.Close() // stale read loop exits as a no-op (generation moved on)
+	}
+	return nil
+}
+
+// send registers a waiter and writes one request frame. It returns the
+// request ID, the waiter channel to receive the matched response on, and how
+// long the frame write took (the serialization phase the link estimator
+// consumes).
+func (c *TCPClient) send(msgType protocol.MsgType, payload []byte) (uint64, chan clientResult, time.Duration, error) {
+	c.mu.Lock()
+	if c.closed {
 		c.mu.Unlock()
-		return 0, nil, errors.New("edge: client closed")
+		return 0, nil, 0, errors.New("edge: client closed")
 	}
 	if c.broken != nil {
-		err := c.broken
-		c.mu.Unlock()
-		return 0, nil, fmt.Errorf("edge: connection broken: %w", err)
+		if err := c.reconnectLocked(); err != nil {
+			c.mu.Unlock()
+			return 0, nil, 0, err
+		}
 	}
 	c.nextID++
 	id := c.nextID
 	ch := make(chan clientResult, 1)
 	c.pending[id] = ch
 	conn := c.conn
+	gen := c.gen
 	c.mu.Unlock()
 
 	c.wmu.Lock()
-	err := conn.SetWriteDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	writeStart := time.Now()
+	err := conn.SetWriteDeadline(writeStart.Add(c.cfg.RequestTimeout))
 	if err == nil {
 		err = protocol.WriteFrame(conn, protocol.Frame{Type: msgType, ID: id, Payload: payload})
 	}
+	writeDur := time.Since(writeStart)
 	c.wmu.Unlock()
 	if err != nil {
 		// A failed write may have left a partial frame on the wire; the
 		// byte stream is no longer trustworthy, so poison the connection
 		// (failing all in-flight requests) rather than let later frames be
-		// parsed mid-frame by the server.
+		// parsed mid-frame by the server. A redial (never a reuse) may
+		// replace it on the next send.
 		c.forget(id)
-		c.fail(err)
-		return 0, nil, fmt.Errorf("edge: send: %w", err)
+		c.fail(err, gen)
+		return 0, nil, 0, fmt.Errorf("edge: send: %w", err)
 	}
-	c.bytesSent.Add(uint64(len(payload)))
-	return id, ch, nil
+	c.bytesSent.Add(uint64(protocol.FrameWireSize(len(payload))))
+	return id, ch, writeDur, nil
 }
 
 // forget drops a waiter registration (after a failed write or a timeout).
@@ -338,28 +481,60 @@ func (c *TCPClient) ClassifyFeatures(feat *tensor.Tensor) (int, float64, error) 
 }
 
 // roundTrip performs one classify exchange of the given message type. Many
-// round trips may overlap on the same connection.
+// round trips may overlap on the same connection. Every successful exchange
+// feeds the link estimator and captures the piggybacked server load.
 func (c *TCPClient) roundTrip(msgType protocol.MsgType, t *tensor.Tensor) (int, float64, error) {
-	id, ch, err := c.send(msgType, protocol.EncodeTensor(t))
+	payload := protocol.EncodeTensor(t)
+	id, ch, writeDur, err := c.send(msgType, payload)
 	if err != nil {
 		return 0, 0, err
 	}
+	waitStart := time.Now()
 	f, err := c.await(id, ch)
 	if err != nil {
 		return 0, 0, err
 	}
 	switch f.Type {
 	case protocol.MsgResult:
-		pred, conf, err := protocol.DecodeResult(f.Payload)
+		pred, conf, load, hasLoad, err := protocol.DecodeResultLoad(f.Payload)
 		if err != nil {
 			return 0, 0, err
 		}
+		c.observe(len(payload), writeDur, time.Since(waitStart), load, hasLoad)
 		return int(pred), float64(conf), nil
 	case protocol.MsgError:
 		return 0, 0, fmt.Errorf("edge: cloud error: %s", f.Payload)
 	default:
 		return 0, 0, fmt.Errorf("edge: unexpected response type %s", f.Type)
 	}
+}
+
+// observe folds one successful exchange into the live link estimate and the
+// last-seen server load.
+func (c *TCPClient) observe(payloadLen int, writeDur, waitDur time.Duration, load protocol.LoadStatus, hasLoad bool) {
+	c.est.Record(int64(protocol.FrameWireSize(payloadLen)), writeDur, waitDur)
+	if hasLoad {
+		c.loadMu.Lock()
+		c.lastLoad = load
+		c.haveLoad = true
+		c.loadMu.Unlock()
+	}
+}
+
+// LinkEstimate reports the live uplink estimate accumulated over this
+// client's round trips (see linkest). The edge runtime consumes it for
+// closed-loop offload adaptation.
+func (c *TCPClient) LinkEstimate() linkest.Estimate {
+	return c.est.Estimate()
+}
+
+// CloudLoad reports the most recent backpressure signal piggybacked by the
+// server on a result frame. ok is false until the first result arrives (or
+// when talking to a server that predates the status field).
+func (c *TCPClient) CloudLoad() (protocol.LoadStatus, bool) {
+	c.loadMu.Lock()
+	defer c.loadMu.Unlock()
+	return c.lastLoad, c.haveLoad
 }
 
 // ClassifyBatch ships a client-assembled batch of same-shaped CHW images as
@@ -410,23 +585,26 @@ func (c *TCPClient) batchRoundTrip(msgType protocol.MsgType, name string, ts []*
 // decodes the per-instance result batch.
 func (c *TCPClient) stackedRoundTrip(msgType protocol.MsgType, batch *tensor.Tensor) ([]int, []float64, error) {
 	n := batch.Dim(0)
-	id, ch, err := c.send(msgType, protocol.EncodeTensor(batch))
+	payload := protocol.EncodeTensor(batch)
+	id, ch, writeDur, err := c.send(msgType, payload)
 	if err != nil {
 		return nil, nil, err
 	}
+	waitStart := time.Now()
 	f, err := c.await(id, ch)
 	if err != nil {
 		return nil, nil, err
 	}
 	switch f.Type {
 	case protocol.MsgResultBatch:
-		rs, err := protocol.DecodeResults(f.Payload)
+		rs, load, hasLoad, err := protocol.DecodeResultsLoad(f.Payload)
 		if err != nil {
 			return nil, nil, err
 		}
 		if len(rs) != n {
 			return nil, nil, fmt.Errorf("edge: batch response has %d results for %d tensors", len(rs), n)
 		}
+		c.observe(len(payload), writeDur, time.Since(waitStart), load, hasLoad)
 		preds := make([]int, len(rs))
 		confs := make([]float64, len(rs))
 		for i, r := range rs {
@@ -443,7 +621,7 @@ func (c *TCPClient) stackedRoundTrip(msgType protocol.MsgType, batch *tensor.Ten
 
 // Ping round-trips a ping frame, verifying the link end to end.
 func (c *TCPClient) Ping() error {
-	id, ch, err := c.send(protocol.MsgPing, nil)
+	id, ch, _, err := c.send(protocol.MsgPing, nil)
 	if err != nil {
 		return err
 	}
@@ -457,15 +635,22 @@ func (c *TCPClient) Ping() error {
 	return nil
 }
 
-// BytesSent reports the cumulative payload bytes uploaded.
+// BytesSent reports the cumulative wire bytes uploaded (frame headers
+// included — the same unit the server's BytesIn counter uses, so the two
+// ends agree bitwise when every written frame was received).
 func (c *TCPClient) BytesSent() uint64 {
 	return c.bytesSent.Load()
 }
 
 // Close shuts the connection down; the read loop then fails any requests
-// still in flight.
+// still in flight. A closed client never redials.
 func (c *TCPClient) Close() error {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
 	conn := c.conn
 	c.conn = nil
 	c.mu.Unlock()

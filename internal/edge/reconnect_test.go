@@ -1,0 +1,214 @@
+package edge_test
+
+// Reconnect tests: a transport error must no longer brick the TCPClient for
+// the life of the process. The redial path preserves the poisoned-stream
+// safety argument — a connection is never written to after a failed write;
+// a brand-new connection carries subsequent requests.
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/meanet/meanet/internal/cloud"
+	"github.com/meanet/meanet/internal/core"
+	"github.com/meanet/meanet/internal/edge"
+	"github.com/meanet/meanet/internal/models"
+	"github.com/meanet/meanet/internal/netsim"
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+// startServer boots a cloud server on an ephemeral port.
+func startServer(t *testing.T, seed int64) *cloud.Server {
+	t.Helper()
+	srv, err := cloud.NewServer(buildCloudModel(t, seed), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestTCPClientRedialsAfterTransportFault breaks the first connection with a
+// fault injector mid-stream and verifies the next request redials and
+// succeeds — the regression test for the bricked-transport bug, where every
+// request after fail() was doomed until process restart.
+func TestTCPClientRedialsAfterTransportFault(t *testing.T) {
+	srv := startServer(t, 10)
+
+	var dials atomic.Int64
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget for one full request, then the link breaks mid-write.
+	faulty := netsim.InjectFault(conn, netsim.FailWrites, 1200)
+	client := edge.NewClientOnConn(faulty, edge.DialConfig{
+		RequestTimeout: 2 * time.Second,
+		RedialBackoff:  time.Millisecond,
+		Redial: func() (net.Conn, error) {
+			dials.Add(1)
+			return net.Dial("tcp", srv.Addr().String())
+		},
+	})
+	defer client.Close()
+
+	rng := rand.New(rand.NewSource(11))
+	img := tensor.Randn(rng, 1, 3, 8, 8) // ≈768B payload + header
+	if _, _, err := client.Classify(img); err != nil {
+		t.Fatalf("first classify should fit the fault budget: %v", err)
+	}
+	// Second classify trips the fault: the write fails, the stream is
+	// poisoned, the call errors.
+	if _, _, err := client.Classify(img); err == nil {
+		t.Fatal("classify succeeded over a broken link")
+	}
+	// Third classify must redial and succeed — previously it failed forever.
+	if _, _, err := client.Classify(img); err != nil {
+		t.Fatalf("classify after redial: %v", err)
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("redialed %d times, want 1", got)
+	}
+	// The replacement connection keeps working.
+	if _, _, err := client.Classify(img); err != nil {
+		t.Fatalf("classify on redialed connection: %v", err)
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("healthy connection redialed again (%d dials)", got)
+	}
+}
+
+// TestTCPClientRedialBackoff pins the fail-fast window: while the backoff
+// after a failed redial is pending, requests fail immediately WITHOUT
+// dialing again; after it elapses, the next request redials.
+func TestTCPClientRedialBackoff(t *testing.T) {
+	srv := startServer(t, 20)
+
+	var dials atomic.Int64
+	refuse := atomic.Bool{}
+	refuse.Store(true)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := netsim.InjectFault(conn, netsim.FailWrites, 0) // breaks immediately
+	const backoff = 150 * time.Millisecond
+	client := edge.NewClientOnConn(faulty, edge.DialConfig{
+		RequestTimeout: 2 * time.Second,
+		RedialBackoff:  backoff,
+		Redial: func() (net.Conn, error) {
+			dials.Add(1)
+			if refuse.Load() {
+				return nil, fmt.Errorf("reconnect refused (test)")
+			}
+			return net.Dial("tcp", srv.Addr().String())
+		},
+	})
+	defer client.Close()
+
+	rng := rand.New(rand.NewSource(21))
+	img := tensor.Randn(rng, 1, 3, 8, 8)
+	if _, _, err := client.Classify(img); err == nil {
+		t.Fatal("classify succeeded on an immediately-broken link")
+	}
+	// First redial attempt: refused → backoff armed.
+	if _, _, err := client.Classify(img); err == nil {
+		t.Fatal("classify succeeded while redial is refused")
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("want exactly 1 redial attempt, got %d", got)
+	}
+	// Inside the backoff window: fail fast, no new dial.
+	start := time.Now()
+	if _, _, err := client.Classify(img); err == nil {
+		t.Fatal("classify succeeded inside the backoff window")
+	}
+	if d := time.Since(start); d > backoff/2 {
+		t.Fatalf("in-backoff failure was not fast: %v", d)
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("dialed during backoff (%d dials)", got)
+	}
+	// After the window: redial runs again and, now accepted, recovers.
+	refuse.Store(false)
+	time.Sleep(backoff + 20*time.Millisecond)
+	if _, _, err := client.Classify(img); err != nil {
+		t.Fatalf("classify after backoff elapsed: %v", err)
+	}
+	if got := dials.Load(); got != 2 {
+		t.Fatalf("want 2 redial attempts total, got %d", got)
+	}
+}
+
+// TestRuntimeRetrySucceedsAfterRedial is the fault-injection acceptance test
+// from the issue: with Policy.CloudRetries > 0, a batch whose first upload
+// dies on a transport error must succeed on the retry — the redialed
+// connection carries it — instead of burning every retry against a
+// permanently bricked client and falling back to the edge.
+func TestRuntimeRetrySucceedsAfterRedial(t *testing.T) {
+	srv := startServer(t, 30)
+
+	rng := rand.New(rand.NewSource(31))
+	backbone, err := models.BuildResNet(rng, models.ResNetSpec{
+		Name: "redialedge", InChannels: 3, StemChannels: 4,
+		Channels: []int{4, 8}, Blocks: []int{1, 1}, Strides: []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.BuildMEANetA(rng, backbone, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first batched upload (8 images ≈ 6KB) dies mid-write.
+	faulty := netsim.InjectFault(conn, netsim.FailWrites, 1000)
+	var dials atomic.Int64
+	client := edge.NewClientOnConn(faulty, edge.DialConfig{
+		RequestTimeout: 2 * time.Second,
+		RedialBackoff:  time.Millisecond,
+		Redial: func() (net.Conn, error) {
+			dials.Add(1)
+			return net.Dial("tcp", srv.Addr().String())
+		},
+	})
+	defer client.Close()
+
+	rt, err := edge.NewRuntime(m, core.Policy{Threshold: 0, UseCloud: true, CloudRetries: 1}, client, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := rt.Classify(tensor.Randn(rng, 1, 8, 3, 8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range dec {
+		if d.Exit != core.ExitCloud {
+			t.Fatalf("instance %d fell back to the edge (%+v); the retry should have reached the redialed cloud", i, d)
+		}
+		if d.CloudAttempts != 2 {
+			t.Fatalf("instance %d: %d attempts, want 2 (fail, then success over the new connection)", i, d.CloudAttempts)
+		}
+		if d.CloudFailed {
+			t.Fatalf("instance %d marked CloudFailed after a successful retry", i)
+		}
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("redialed %d times, want 1", got)
+	}
+	rep := rt.Report()
+	if rep.CloudFailures != 0 || rep.Exits[core.ExitCloud] != 8 {
+		t.Fatalf("report after recovered retry: %+v", rep)
+	}
+}

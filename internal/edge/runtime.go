@@ -8,8 +8,23 @@ import (
 
 	"github.com/meanet/meanet/internal/core"
 	"github.com/meanet/meanet/internal/energy"
+	"github.com/meanet/meanet/internal/linkest"
+	"github.com/meanet/meanet/internal/protocol"
 	"github.com/meanet/meanet/internal/tensor"
 )
+
+// LinkEstimator supplies a live uplink estimate. *TCPClient implements it;
+// the runtime auto-wires the estimator from its cloud client and adapts the
+// offload decisions to what the transport actually measures.
+type LinkEstimator interface {
+	LinkEstimate() linkest.Estimate
+}
+
+// LoadReporter supplies the cloud server's piggybacked backpressure signal.
+// *TCPClient implements it.
+type LoadReporter interface {
+	CloudLoad() (protocol.LoadStatus, bool)
+}
 
 // OffloadMode selects which representation of a cloud-qualifying instance
 // the runtime uploads.
@@ -72,14 +87,89 @@ type CostParams struct {
 	// (energy.FeatureBytes of its element count). 0 means unknown, which
 	// disables the features choice in OffloadAuto.
 	FeatureBytes int64
+	// WireImageBytes is what one raw instance ACTUALLY puts on the wire.
+	// ImageBytes follows the paper's 8-bit pixel model for the energy
+	// algebra, but protocol.EncodeTensor ships float32 — 4× the bytes — and
+	// the live link estimator measures those real frames, so predicting a
+	// raw upload's latency from ImageBytes would undercount it 4×
+	// (FeatureBytes is already the true float32 size). 0 falls back to
+	// ImageBytes (correct when ImageBytes is itself a wire-true size, as
+	// the benchmarks and experiments configure).
+	WireImageBytes int64
 }
 
-// uploadBytes is the per-instance upload size of a representation.
+// uploadBytes is the per-instance MODELED upload size of a representation
+// (the paper's accounting unit: bytes, energy, modeled latency).
 func (c *CostParams) uploadBytes(rep core.OffloadRep) int64 {
 	if rep == core.RepFeatures {
 		return c.FeatureBytes
 	}
 	return c.ImageBytes
+}
+
+// wireUploadBytes is the per-instance size a representation actually
+// serializes — the unit the live latency predictions must use, since the
+// estimator's bandwidth was measured from real frames.
+func (c *CostParams) wireUploadBytes(rep core.OffloadRep) int64 {
+	if rep == core.RepFeatures {
+		return c.FeatureBytes
+	}
+	if c.WireImageBytes > 0 {
+		return c.WireImageBytes
+	}
+	return c.ImageBytes
+}
+
+// AdaptConfig tunes the closed-loop adaptation (SetLatencyBudget and the
+// live half of OffloadAuto). The zero value picks usable defaults.
+type AdaptConfig struct {
+	// MinSamples gates the live estimates: until the link estimator has
+	// folded in this many round trips, decisions fall back to the static
+	// CostParams model (default 8).
+	MinSamples int
+	// StepUp and StepDown are the multiplicative threshold nudges: over
+	// budget raises Threshold by ×(1+StepUp) (offload less), headroom
+	// lowers it by ×(1−StepDown). Up faster than down — shedding load when
+	// the budget is blown matters more than reclaiming accuracy (defaults
+	// 0.15 and 0.05).
+	StepUp, StepDown float64
+	// Headroom is the fraction of the budget below which the controller
+	// nudges the threshold down; between Headroom×budget and the budget is
+	// the deadband where the threshold holds (default 0.6).
+	Headroom float64
+	// MinThreshold and MaxThreshold clamp the controlled threshold
+	// (defaults 1e-3 and 10 — entropy over any plausible class count lies
+	// inside).
+	MinThreshold, MaxThreshold float64
+	// RepHysteresis damps representation flapping in auto mode: once the
+	// runtime has fallen back to the compact representation, raw must fit
+	// within RepHysteresis×budget (not just the budget) to flip back
+	// (default 0.8).
+	RepHysteresis float64
+}
+
+func (c *AdaptConfig) fillDefaults() {
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.StepUp <= 0 {
+		c.StepUp = 0.15
+	}
+	if c.StepDown <= 0 {
+		c.StepDown = 0.05
+	}
+	if c.Headroom <= 0 || c.Headroom >= 1 {
+		c.Headroom = 0.6
+	}
+	if c.MinThreshold <= 0 {
+		c.MinThreshold = 1e-3
+	}
+	if c.MaxThreshold <= 0 {
+		c.MaxThreshold = 10
+	}
+	if c.RepHysteresis <= 0 || c.RepHysteresis > 1 {
+		c.RepHysteresis = 0.8
+	}
 }
 
 // Report summarizes a runtime's activity.
@@ -101,6 +191,14 @@ type Report struct {
 	// instances that terminate at the edge skip the upload entirely).
 	LatencyCompute time.Duration
 	LatencyComm    time.Duration
+
+	// Threshold is the entropy threshold at snapshot time — under a latency
+	// budget it moves, so the report records where the controller left it.
+	Threshold float64
+	// RepFlips counts mid-run switches of the auto mode's upload
+	// representation (raw↔features) — the observable trace of live link
+	// adaptation.
+	RepFlips int
 }
 
 // CloudFraction is β: the fraction of instances that exited at the cloud.
@@ -121,6 +219,13 @@ type Runtime struct {
 	mu             sync.Mutex
 	policy         core.Policy
 	mode           OffloadMode
+	est            LinkEstimator // nil = no live estimates (static model only)
+	load           LoadReporter  // nil = no backpressure signal
+	budget         time.Duration // 0 = closed-loop adaptation off
+	adapt          AdaptConfig
+	lastRep        core.OffloadRep
+	haveLastRep    bool
+	repFlips       int
 	n              int
 	exits          map[core.ExitPoint]int
 	cloudFailures  int
@@ -141,13 +246,73 @@ func NewRuntime(m *core.MEANet, policy core.Policy, cloud CloudClient, cost *Cos
 	if policy.UseCloud && cloud == nil {
 		return nil, errors.New("edge: policy enables cloud but no cloud client given")
 	}
-	return &Runtime{
+	r := &Runtime{
 		net:    m,
 		policy: policy,
 		cloud:  cloud,
 		cost:   cost,
 		exits:  make(map[core.ExitPoint]int),
-	}, nil
+	}
+	r.adapt.fillDefaults()
+	// Auto-wire the live signals from transports that measure them (the TCP
+	// client does; the in-process client does not).
+	if est, ok := cloud.(LinkEstimator); ok {
+		r.est = est
+	}
+	if lr, ok := cloud.(LoadReporter); ok {
+		r.load = lr
+	}
+	return r, nil
+}
+
+// SetLinkEstimator overrides the live link source (tests inject synthetic
+// estimators; nil disables live adaptation and falls back to the static
+// cost model).
+func (r *Runtime) SetLinkEstimator(est LinkEstimator) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.est = est
+}
+
+// SetLoadReporter overrides the backpressure source (see SetLinkEstimator).
+func (r *Runtime) SetLoadReporter(lr LoadReporter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.load = lr
+}
+
+// SetAdaptConfig replaces the adaptation tuning (zero fields take defaults).
+func (r *Runtime) SetAdaptConfig(cfg AdaptConfig) {
+	cfg.fillDefaults()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.adapt = cfg
+}
+
+// SetLatencyBudget enables closed-loop threshold control: after every batch
+// with cloud traffic, the runtime compares the observed per-offload cloud
+// latency (measured turnaround + serialization at the measured bandwidth,
+// inflated by the server's piggybacked queue depth) against d, nudging
+// Policy.Threshold up when the budget is blown (fewer instances qualify for
+// the cloud) and down when there is headroom (reclaim cloud accuracy) — the
+// paper's Algorithm 2 threshold, re-tuned live instead of fixed at startup.
+// The same budget steers OffloadAuto's representation choice: raw while its
+// measured upload fits the budget, the compact representation once it no
+// longer does. d ≤ 0 disables the loop.
+func (r *Runtime) SetLatencyBudget(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	r.budget = d
+}
+
+// LatencyBudget reports the active budget (0 = closed-loop control off).
+func (r *Runtime) LatencyBudget() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.budget
 }
 
 // Policy returns the active inference policy.
@@ -206,12 +371,48 @@ func (r *Runtime) OffloadMode() OffloadMode {
 	return r.mode
 }
 
+// adaptSnapshot is the state one Classify call adapts with, copied under the
+// mutex so concurrent SetThreshold/SetLatencyBudget/SetOffloadMode calls
+// cannot tear it.
+type adaptSnapshot struct {
+	budget      time.Duration
+	adapt       AdaptConfig
+	est         LinkEstimator
+	load        LoadReporter
+	lastRep     core.OffloadRep
+	haveLastRep bool
+}
+
+// liveEstimate returns the link estimate when it is mature enough to act on
+// (the estimator exists, has MinSamples round trips, and measured a
+// bandwidth).
+func (s *adaptSnapshot) liveEstimate() (linkest.Estimate, bool) {
+	if s.est == nil {
+		return linkest.Estimate{}, false
+	}
+	est := s.est.LinkEstimate()
+	if est.Samples < s.adapt.MinSamples || est.Mbps <= 0 {
+		return linkest.Estimate{}, false
+	}
+	return est, true
+}
+
 // resolveRep turns the configured mode into the representation this batch
-// uploads. Auto picks the representation with the cheaper modeled upload —
-// WiFi energy when the model is configured, bytes otherwise — and degrades
-// to raw when the transport cannot carry features or no cost model exists
-// (the comparison needs FeatureBytes).
-func (r *Runtime) resolveRep(mode OffloadMode) core.OffloadRep {
+// uploads.
+//
+// Auto adapts to the link the transport actually measures: once the live
+// estimate is mature, the per-attempt upload latency of each representation
+// is RTT + serialization at the MEASURED bandwidth. With a latency budget,
+// raw is preferred while it fits the budget (the full-fidelity input — a
+// standalone cloud CNN sees its native representation) and the runtime
+// falls back to the cheaper representation when the measured link no longer
+// affords raw, with hysteresis so a borderline link doesn't flap. Without a
+// budget — or until the estimator has enough samples — the choice comes
+// from the static CostParams model (cheaper modeled upload energy, bytes on
+// a degenerate WiFi model), as before. Auto still degrades to raw when the
+// transport cannot carry features or no cost model exists (the comparison
+// needs FeatureBytes).
+func (r *Runtime) resolveRep(mode OffloadMode, snap adaptSnapshot) core.OffloadRep {
 	switch mode {
 	case OffloadFeatures:
 		return core.RepFeatures
@@ -222,22 +423,119 @@ func (r *Runtime) resolveRep(mode OffloadMode) core.OffloadRep {
 		if r.cost == nil || r.cost.FeatureBytes <= 0 {
 			return core.RepRaw
 		}
-		rawJ := r.cost.WiFi.UploadEnergyJ(r.cost.ImageBytes)
-		featJ := r.cost.WiFi.UploadEnergyJ(r.cost.FeatureBytes)
-		if rawJ == 0 && featJ == 0 {
-			// Degenerate WiFi model: fall back to the byte comparison.
-			if r.cost.FeatureBytes < r.cost.ImageBytes {
-				return core.RepFeatures
-			}
-			return core.RepRaw
+		if est, ok := snap.liveEstimate(); ok {
+			return r.resolveRepLive(est, snap)
 		}
-		if featJ < rawJ {
-			return core.RepFeatures
-		}
-		return core.RepRaw
+		return r.resolveRepStatic()
 	default:
 		return core.RepRaw
 	}
+}
+
+// resolveRepStatic is the pre-adaptation auto decision: the cheaper modeled
+// upload through the static WiFi model.
+func (r *Runtime) resolveRepStatic() core.OffloadRep {
+	rawJ := r.cost.WiFi.UploadEnergyJ(r.cost.ImageBytes)
+	featJ := r.cost.WiFi.UploadEnergyJ(r.cost.FeatureBytes)
+	if rawJ == 0 && featJ == 0 {
+		// Degenerate WiFi model: fall back to the byte comparison.
+		if r.cost.FeatureBytes < r.cost.ImageBytes {
+			return core.RepFeatures
+		}
+		return core.RepRaw
+	}
+	if featJ < rawJ {
+		return core.RepFeatures
+	}
+	return core.RepRaw
+}
+
+// resolveRepLive is the measured-link auto decision (see resolveRep). It
+// predicts from WIRE sizes — the estimator's bandwidth was measured from
+// the frames the transport really ships.
+func (r *Runtime) resolveRepLive(est linkest.Estimate, snap adaptSnapshot) core.OffloadRep {
+	tRaw := est.RTT + est.UploadTime(r.cost.wireUploadBytes(core.RepRaw))
+	tFeat := est.RTT + est.UploadTime(r.cost.wireUploadBytes(core.RepFeatures))
+	if snap.budget > 0 {
+		affordRaw := snap.budget
+		if snap.haveLastRep && snap.lastRep == core.RepFeatures {
+			// Hysteresis: flipping back to raw needs clear headroom.
+			affordRaw = time.Duration(float64(snap.budget) * snap.adapt.RepHysteresis)
+		}
+		if tRaw <= affordRaw {
+			return core.RepRaw
+		}
+	}
+	// Over budget (or no budget): the cheaper measured upload wins; ties
+	// favour raw, the paper's default.
+	if tFeat < tRaw {
+		return core.RepFeatures
+	}
+	return core.RepRaw
+}
+
+// observedCloudLatency is the controller's error signal: the measured cloud
+// turnaround plus the serialization of this batch's representation at the
+// measured bandwidth. Server queueing is NOT added here — the measured
+// turnaround already paid it (the wait phase spans the server's queue and
+// compute), so adding a queue-derived term would double-count steady-state
+// congestion. The piggybacked queue depth acts as a leading TRIGGER in
+// adaptThreshold instead.
+func observedCloudLatency(est linkest.Estimate, uploadBytes int64) time.Duration {
+	return est.RTT + est.UploadTime(uploadBytes)
+}
+
+// queueSaturated interprets the piggybacked backpressure signal: a parked
+// queue well beyond the set actually being served means arrivals are
+// outrunning service — latency is about to rise even though the RTT EWMA
+// has not seen it yet. The 2× margin and the absolute floor keep the normal
+// collector linger (a request or two parked while a batch fills) from
+// reading as congestion. The signal exists when the server's collectors
+// carry traffic (fleets of single-frame edges sharing a batching server);
+// this runtime's own batch frames bypass the collectors, so for a
+// batch-only workload congestion is seen through the measured turnaround
+// instead.
+func queueSaturated(load protocol.LoadStatus) bool {
+	return load.QueueDepth > 2*load.Active && load.QueueDepth > 2
+}
+
+// adaptThreshold runs one controller step after a batch with cloud traffic:
+// multiplicative increase of the entropy threshold when the observed cloud
+// latency blows the budget — or when the server's piggybacked queue signals
+// saturation before latency shows it (shed offload load early) — gentler
+// decrease when there is headroom, a deadband in between. The threshold
+// only moves if Classify actually talked to the cloud this batch — edge-only
+// batches carry no fresh link information.
+func (r *Runtime) adaptThreshold(snap adaptSnapshot, rep core.OffloadRep) {
+	est, ok := snap.liveEstimate()
+	if !ok || snap.budget <= 0 || r.cost == nil {
+		return
+	}
+	var load protocol.LoadStatus
+	var haveLoad bool
+	if snap.load != nil {
+		load, haveLoad = snap.load.CloudLoad()
+	}
+	obs := observedCloudLatency(est, r.cost.wireUploadBytes(rep))
+	saturated := haveLoad && queueSaturated(load)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	th := r.policy.Threshold
+	switch {
+	case obs > snap.budget || saturated:
+		th *= 1 + snap.adapt.StepUp
+	case obs < time.Duration(float64(snap.budget)*snap.adapt.Headroom):
+		th *= 1 - snap.adapt.StepDown
+	default:
+		return // deadband: on target, hold
+	}
+	if th < snap.adapt.MinThreshold {
+		th = snap.adapt.MinThreshold
+	}
+	if th > snap.adapt.MaxThreshold {
+		th = snap.adapt.MaxThreshold
+	}
+	r.policy.Threshold = th
 }
 
 // Classify runs Algorithm 2 on a batch, updating the runtime's accounting.
@@ -246,17 +544,31 @@ func (r *Runtime) resolveRep(mode OffloadMode) core.OffloadRep {
 // resolves to; failed instances are retried per the policy and then fall
 // back to the edge decision per instance, with β, bytes and energy staying
 // per-instance (every attempt transmitted, so every attempt is charged).
+//
+// When a latency budget is set (SetLatencyBudget) and the transport reports
+// live link estimates, each batch that reached the cloud also runs one step
+// of the closed-loop controller: the offload representation follows the
+// measured link, and the entropy threshold is re-tuned toward the budget.
 func (r *Runtime) Classify(x *tensor.Tensor) ([]core.Decision, error) {
-	// Snapshot policy and mode under the lock before wiring the cloud path:
-	// SetThreshold/SetOffloadMode mutate them concurrently.
+	// Snapshot policy, mode and the adaptation state under the lock before
+	// wiring the cloud path: SetThreshold/SetOffloadMode/SetLatencyBudget
+	// mutate them concurrently.
 	r.mu.Lock()
 	pol := r.policy
 	mode := r.mode
+	snap := adaptSnapshot{
+		budget:      r.budget,
+		adapt:       r.adapt,
+		est:         r.est,
+		load:        r.load,
+		lastRep:     r.lastRep,
+		haveLastRep: r.haveLastRep,
+	}
 	r.mu.Unlock()
 	rep := core.RepRaw
 	var cloudFn core.CloudBatchFunc
 	if pol.UseCloud && r.cloud != nil {
-		rep = r.resolveRep(mode)
+		rep = r.resolveRep(mode, snap)
 		if rep == core.RepFeatures {
 			fc, ok := r.cloud.(FeatureCloudClient)
 			if !ok {
@@ -271,15 +583,40 @@ func (r *Runtime) Classify(x *tensor.Tensor) ([]core.Decision, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.account(decisions, rep)
+	offloaded := false
+	for i := range decisions {
+		if decisions[i].CloudAttempts > 0 {
+			offloaded = true
+			break
+		}
+	}
+	// Representation flips are an auto-mode metric (the trace of live
+	// adaptation); manual SetOffloadMode switches are not counted.
+	r.account(decisions, rep, cloudFn != nil && mode == OffloadAuto)
+	if offloaded {
+		// One controller step per batch that actually exercised the link:
+		// the estimator has fresh samples and the threshold error signal is
+		// current.
+		r.adaptThreshold(snap, rep)
+	}
 	return decisions, nil
 }
 
 // account folds a batch of decisions into the counters. rep is the upload
-// representation this batch used.
-func (r *Runtime) account(decisions []core.Decision, rep core.OffloadRep) {
+// representation this batch used; trackRep reports whether this batch's
+// representation was an auto-mode choice with a cloud path wired — only
+// those update lastRep and count flips (Report.RepFlips traces live
+// adaptation, not manual mode switches).
+func (r *Runtime) account(decisions []core.Decision, rep core.OffloadRep, trackRep bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if trackRep {
+		if r.haveLastRep && rep != r.lastRep {
+			r.repFlips++
+		}
+		r.lastRep = rep
+		r.haveLastRep = true
+	}
 	for _, d := range decisions {
 		r.n++
 		r.exits[d.Exit]++
@@ -333,6 +670,8 @@ func (r *Runtime) Report() Report {
 		Energy:         r.energyTotal,
 		LatencyCompute: r.latencyCompute,
 		LatencyComm:    r.latencyComm,
+		Threshold:      r.policy.Threshold,
+		RepFlips:       r.repFlips,
 	}
 }
 
@@ -349,4 +688,6 @@ func (r *Runtime) Reset() {
 	r.energyTotal = energy.Breakdown{}
 	r.latencyCompute = 0
 	r.latencyComm = 0
+	r.repFlips = 0
+	r.haveLastRep = false
 }

@@ -661,3 +661,110 @@ func TestTCPClientClosedClassifyFails(t *testing.T) {
 		t.Fatal("classify succeeded on closed client")
 	}
 }
+
+// TestWireByteCountersAgree pins the wire-byte accounting fix: the client's
+// BytesSent and the server's BytesIn both count whole frames (header
+// included), so after a mixed workload — single classifies, a batch frame,
+// pings — the two ends must agree bitwise. Before the fix the client omitted
+// the 17-byte frame header, so the counters drifted by one header per
+// request.
+func TestWireByteCountersAgree(t *testing.T) {
+	cls := buildCloudModel(t, 100)
+	srv, err := cloud.NewServer(cls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := edge.DialCloud(srv.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	rng := rand.New(rand.NewSource(101))
+	if err := client.Ping(); err != nil { // zero-payload frame: header only
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := client.Classify(tensor.Randn(rng, 1, 3, 8, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	imgs := make([]*tensor.Tensor, 4)
+	for i := range imgs {
+		imgs[i] = tensor.Randn(rng, 1, 3, 8, 8)
+	}
+	if _, _, err := client.ClassifyBatch(imgs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every request has been answered, so the server has read every frame
+	// the client wrote.
+	sent := client.BytesSent()
+	if sent == 0 {
+		t.Fatal("client byte counter not updated")
+	}
+	if got := srv.Stats().BytesIn; got != sent {
+		t.Fatalf("client sent %d wire bytes, server received %d — counters must agree bitwise", sent, got)
+	}
+}
+
+// TestTCPClientLinkEstimateAndLoad exercises the live-estimation plumbing end
+// to end over a shaped link: after a few round trips the client must hold a
+// plausible RTT/bandwidth estimate and the server's piggybacked load status.
+func TestTCPClientLinkEstimateAndLoad(t *testing.T) {
+	cls := buildCloudModel(t, 110)
+	srv, err := cloud.NewServer(cls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := edge.DialCloud(srv.Addr().String(), edge.DialConfig{
+		Link: netsim.Link{Latency: 3 * time.Millisecond, Mbps: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	rng := rand.New(rand.NewSource(111))
+	imgs := make([]*tensor.Tensor, 4)
+	for i := range imgs {
+		imgs[i] = tensor.Randn(rng, 1, 3, 8, 8)
+	}
+	const trips = 5
+	for i := 0; i < trips; i++ {
+		if _, _, err := client.ClassifyBatch(imgs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est := client.LinkEstimate()
+	if est.Samples != trips {
+		t.Fatalf("estimator folded %d samples, want %d", est.Samples, trips)
+	}
+	// ~12KB batch frames through a 20 Mbps + 3ms link: the effective
+	// throughput estimate must land below the configured bandwidth (the
+	// send phase includes the latency) but within the right order of
+	// magnitude, and the turnaround must be positive.
+	if est.Mbps <= 1 || est.Mbps > 25 {
+		t.Fatalf("implausible bandwidth estimate %.2f Mbps for a 20 Mbps link", est.Mbps)
+	}
+	if est.RTT <= 0 || est.RTT > time.Second {
+		t.Fatalf("implausible RTT estimate %v", est.RTT)
+	}
+	load, ok := client.CloudLoad()
+	if !ok {
+		t.Fatal("no load status piggybacked on result frames")
+	}
+	// An unbatched server reports no queue; the dispatch that answered us
+	// counted itself in Active, so the signal is within [0, small].
+	if load.QueueDepth != 0 {
+		t.Fatalf("unbatched server reported queue depth %d", load.QueueDepth)
+	}
+}

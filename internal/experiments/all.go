@@ -39,6 +39,7 @@ func Runners() []Runner {
 		{"table6", wrap(TableVI)},
 		{"table7", wrap(TableVII)},
 		{"offload-modes", wrap(OffloadModes)},
+		{"adaptive-link", wrap(AdaptiveLink)},
 		{"ablation-combine", wrap(AblationCombine)},
 		{"ablation-optimization", wrap(AblationOptimization)},
 		{"ablation-detector", wrap(AblationDetector)},

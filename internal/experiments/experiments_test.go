@@ -354,8 +354,8 @@ func TestRunOneUnknownName(t *testing.T) {
 
 func TestNamesComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 17 {
-		t.Fatalf("have %d experiments, want 17", len(names))
+	if len(names) != 18 {
+		t.Fatalf("have %d experiments, want 18", len(names))
 	}
 	seen := map[string]bool{}
 	for _, n := range names {
@@ -411,5 +411,70 @@ func TestFreshEdgeWithPretrainedMainPreservesMainBehaviour(t *testing.T) {
 	if cmOrig.Accuracy() != cmClone.Accuracy() {
 		t.Fatalf("cloned main behaves differently: %.4f vs %.4f",
 			cmOrig.Accuracy(), cmClone.Accuracy())
+	}
+}
+
+// TestAdaptiveLinkClosedLoop is the acceptance test of PR 4's demo: on a
+// link that degrades mid-run, the runtime must switch the upload
+// representation without restart (raw on the good link, compact features
+// when degraded, raw again on recovery), re-tune the threshold toward the
+// budget, and keep bytes tracking the link change.
+func TestAdaptiveLinkClosedLoop(t *testing.T) {
+	skipPaperScale(t)
+	r, err := AdaptiveLink(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Phases) != 3 {
+		t.Fatalf("have %d phases, want 3", len(r.Phases))
+	}
+	good, degraded, recovered := r.Phases[0], r.Phases[1], r.Phases[2]
+	if r.FeatureBytes >= r.ImageBytes {
+		t.Fatalf("experiment picked a system without a compact fallback: feat %dB vs image %dB",
+			r.FeatureBytes, r.ImageBytes)
+	}
+	// There must be cloud traffic in every phase, or the demo shows nothing.
+	for _, ph := range r.Phases {
+		if ph.RawUploads+ph.FeatureUploads == 0 {
+			t.Fatalf("phase %s had no uploads (threshold %.3f)", ph.Name, ph.ThresholdEnd)
+		}
+	}
+	// Representation follows the link: raw while affordable, features when
+	// degraded, raw again on recovery.
+	if good.FeatureUploads != 0 {
+		t.Fatalf("good link used features (%d/%d)", good.RawUploads, good.FeatureUploads)
+	}
+	if degraded.RawUploads != 0 {
+		t.Fatalf("degraded link kept uploading raw (%d/%d)", degraded.RawUploads, degraded.FeatureUploads)
+	}
+	if recovered.FeatureUploads != 0 {
+		t.Fatalf("recovered link did not flip back to raw (%d/%d)",
+			recovered.RawUploads, recovered.FeatureUploads)
+	}
+	if recovered.RepFlipsTotal != 2 {
+		t.Fatalf("want exactly 2 representation flips (raw→features→raw), got %d", recovered.RepFlipsTotal)
+	}
+	// Bytes per upload track the representation: the degraded phase pays
+	// the feature size per attempt, the others the image size.
+	if got := good.BytesSent; got != int64(good.RawUploads)*r.ImageBytes {
+		t.Fatalf("good-phase bytes %d != %d raw uploads × %dB", got, good.RawUploads, r.ImageBytes)
+	}
+	if got := degraded.BytesSent; got != int64(degraded.FeatureUploads)*r.FeatureBytes {
+		t.Fatalf("degraded-phase bytes %d != %d feature uploads × %dB",
+			got, degraded.FeatureUploads, r.FeatureBytes)
+	}
+	// The controller sheds offload load when the budget is blown: the
+	// degraded phase must end with a higher threshold than the good phase.
+	if degraded.ThresholdEnd <= good.ThresholdEnd {
+		t.Fatalf("degraded phase did not raise the threshold: %.4f → %.4f",
+			good.ThresholdEnd, degraded.ThresholdEnd)
+	}
+	// And reclaims it with headroom: recovery walks the threshold back down.
+	if recovered.ThresholdEnd >= degraded.ThresholdEnd {
+		t.Fatalf("recovered phase did not lower the threshold: %.4f → %.4f",
+			degraded.ThresholdEnd, recovered.ThresholdEnd)
+	}
+	if testing.Verbose() {
+		t.Log("\n" + r.String())
 	}
 }

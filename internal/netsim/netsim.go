@@ -40,26 +40,44 @@ func (l Link) Validate() error {
 	return nil
 }
 
-// shapedConn delays writes according to a Link, emulating a slow uplink on a
+// ShapedConn delays writes according to a Link, emulating a slow uplink on a
 // real socket. Reads are untouched (the downlink result payloads are tiny).
-type shapedConn struct {
+// Each Write call is charged the link's one-way latency plus serialization
+// ONCE — the protocol layer writes one frame per Write call, so the charge
+// is exactly once per frame. The link may be changed mid-connection with
+// SetLink to simulate degrading or recovering conditions.
+type ShapedConn struct {
 	net.Conn
-	link Link
 
-	mu sync.Mutex // serializes the pacing of concurrent writers
+	mu   sync.Mutex // guards link and serializes the pacing of writers
+	link Link
 }
 
 // Shape wraps a connection so writes experience the link's latency and
-// bandwidth.
+// bandwidth. A zero link returns the connection unwrapped.
 func Shape(conn net.Conn, link Link) net.Conn {
 	if link.Latency == 0 && link.Mbps == 0 {
 		return conn
 	}
-	return &shapedConn{Conn: conn, link: link}
+	return ShapeVar(conn, link)
+}
+
+// ShapeVar always wraps, returning the concrete *ShapedConn so callers can
+// vary the link mid-run (the adaptive-offload tests and benchmarks degrade
+// and recover the uplink while a client is connected).
+func ShapeVar(conn net.Conn, link Link) *ShapedConn {
+	return &ShapedConn{Conn: conn, link: link}
+}
+
+// SetLink replaces the link model; subsequent writes pace at the new rate.
+func (c *ShapedConn) SetLink(link Link) {
+	c.mu.Lock()
+	c.link = link
+	c.mu.Unlock()
 }
 
 // Write paces the payload through the simulated link before forwarding it.
-func (c *shapedConn) Write(p []byte) (int, error) {
+func (c *ShapedConn) Write(p []byte) (int, error) {
 	c.mu.Lock()
 	delay := c.link.TransferTime(int64(len(p)))
 	c.mu.Unlock()

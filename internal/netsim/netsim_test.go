@@ -144,3 +144,66 @@ func TestShapedListener(t *testing.T) {
 		t.Fatalf("read %q", buf)
 	}
 }
+
+// countConn counts writes through to a sink — used to pin the
+// one-latency-charge-per-frame contract.
+type countConn struct {
+	net.Conn
+	writes int
+	bytes  int
+}
+
+func (c *countConn) Write(p []byte) (int, error) {
+	c.writes++
+	c.bytes += len(p)
+	return len(p), nil
+}
+
+// TestShapedConnChargesLatencyOncePerFrame is the regression test for the
+// shaped-link double-charge: a protocol frame must reach the shaped
+// connection as ONE write (header and payload together), so the one-way link
+// latency is paid exactly once per frame. Before the fix, WriteFrame issued
+// two writes and every frame on a shaped link paid 2× latency.
+func TestShapedConnChargesLatencyOncePerFrame(t *testing.T) {
+	sink := &countConn{}
+	const latency = 20 * time.Millisecond
+	shaped := ShapeVar(sink, Link{Latency: latency})
+
+	// One frame: 17-byte header + 1000-byte payload, written the way the
+	// protocol layer writes it (a single buffer).
+	frame := make([]byte, 17+1000)
+	start := time.Now()
+	if _, err := shaped.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if sink.writes != 1 || sink.bytes != len(frame) {
+		t.Fatalf("frame forwarded as %d writes / %d bytes, want 1 / %d", sink.writes, sink.bytes, len(frame))
+	}
+	if elapsed < latency {
+		t.Fatalf("latency not charged: %v < %v", elapsed, latency)
+	}
+	if elapsed >= 2*latency {
+		t.Fatalf("latency double-charged: one frame took %v on a %v link", elapsed, latency)
+	}
+}
+
+func TestShapedConnSetLinkMidRun(t *testing.T) {
+	sink := &countConn{}
+	shaped := ShapeVar(sink, Link{}) // unshaped to start
+	start := time.Now()
+	if _, err := shaped.Write(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 5*time.Millisecond {
+		t.Fatalf("zero link delayed a write by %v", d)
+	}
+	shaped.SetLink(Link{Latency: 15 * time.Millisecond})
+	start = time.Now()
+	if _, err := shaped.Write(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("degraded link not applied mid-run: write took %v", d)
+	}
+}

@@ -193,3 +193,63 @@ func FuzzDecodeResult(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeResultsLoad feeds arbitrary bytes into the status-extended
+// result-batch decoder (the frame the edge's backpressure signal rides on).
+// Accepted payloads must re-encode canonically through whichever encoder
+// matches what was decoded — with the status field when hasLoad, the legacy
+// layout otherwise — and must also parse under the strict legacy decoder
+// exactly when hasLoad is false.
+func FuzzDecodeResultsLoad(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeResults(nil))
+	f.Add(EncodeResultsLoad(nil, LoadStatus{QueueDepth: 1, Active: 2}))
+	f.Add(EncodeResultsLoad([]Result{{Pred: 3, Conf: 0.5}}, LoadStatus{QueueDepth: 9}))
+	// The ambiguity edge: a status batch of n results is as long as a legacy
+	// batch of n+1; the count field must pick one interpretation.
+	f.Add(EncodeResults([]Result{{Pred: 1, Conf: 1}, {Pred: 2, Conf: 0}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rs, st, hasLoad, err := DecodeResultsLoad(data)
+		if err != nil {
+			return
+		}
+		var back []byte
+		if hasLoad {
+			back = EncodeResultsLoad(rs, st)
+		} else {
+			if st != (LoadStatus{}) {
+				t.Fatalf("no status on the wire but decoded %+v", st)
+			}
+			back = EncodeResults(rs)
+			if _, legacyErr := DecodeResults(data); legacyErr != nil {
+				t.Fatalf("hasLoad=false payload rejected by the strict decoder: %v", legacyErr)
+			}
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("accepted payload is not canonical (%d vs %d bytes, hasLoad %v)",
+				len(back), len(data), hasLoad)
+		}
+	})
+}
+
+// FuzzDecodeResultLoad covers the status-extended single-result payload.
+func FuzzDecodeResultLoad(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeResult(7, 0.25))
+	f.Add(EncodeResultLoad(7, 0.25, LoadStatus{QueueDepth: 3, Active: 1}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pred, conf, st, hasLoad, err := DecodeResultLoad(data)
+		if err != nil {
+			return
+		}
+		var back []byte
+		if hasLoad {
+			back = EncodeResultLoad(pred, conf, st)
+		} else {
+			back = EncodeResult(pred, conf)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("accepted payload is not canonical (hasLoad %v)", hasLoad)
+		}
+	})
+}

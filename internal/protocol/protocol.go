@@ -71,23 +71,27 @@ type Frame struct {
 	Payload []byte
 }
 
-// WriteFrame serializes a frame.
+// FrameWireSize is the number of bytes a frame with the given payload length
+// occupies on the wire (header included) — the unit both ends' byte counters
+// account in.
+func FrameWireSize(payloadLen int) int { return headerLen + payloadLen }
+
+// WriteFrame serializes a frame. Header and payload go out in a SINGLE Write
+// call: shaped links (netsim) and latency models charge per write, so a
+// two-write frame would pay the one-way link latency twice; a single write is
+// also what keeps per-frame syscall overhead flat on real sockets.
 func WriteFrame(w io.Writer, f Frame) error {
 	if len(f.Payload) > MaxPayload {
 		return fmt.Errorf("protocol: payload %d exceeds limit %d", len(f.Payload), MaxPayload)
 	}
-	hdr := make([]byte, headerLen)
-	copy(hdr, magic)
-	hdr[4] = byte(f.Type)
-	binary.LittleEndian.PutUint64(hdr[5:], f.ID)
-	binary.LittleEndian.PutUint32(hdr[13:], uint32(len(f.Payload)))
-	if _, err := w.Write(hdr); err != nil {
-		return fmt.Errorf("protocol: write header: %w", err)
-	}
-	if len(f.Payload) > 0 {
-		if _, err := w.Write(f.Payload); err != nil {
-			return fmt.Errorf("protocol: write payload: %w", err)
-		}
+	buf := make([]byte, headerLen+len(f.Payload))
+	copy(buf, magic)
+	buf[4] = byte(f.Type)
+	binary.LittleEndian.PutUint64(buf[5:], f.ID)
+	binary.LittleEndian.PutUint32(buf[13:], uint32(len(f.Payload)))
+	copy(buf[headerLen:], f.Payload)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("protocol: write frame: %w", err)
 	}
 	return nil
 }
@@ -231,4 +235,90 @@ func DecodeResults(b []byte) ([]Result, error) {
 		off += 8
 	}
 	return rs, nil
+}
+
+// LoadStatus is the cloud server's backpressure signal, piggybacked on
+// result frames: a snapshot of the server's own atomic counters at response
+// time, delivered to the edge with ZERO extra round trips. The edge's
+// adaptive controller uses QueueDepth as a leading congestion indicator —
+// queue growth shows up here one round trip before it shows up in measured
+// latency. Note the scope: QueueDepth counts traffic in the micro-batch
+// COLLECTORS (single-instance classify frames from many lightweight edges);
+// client-assembled batch frames dispatch directly and appear only in
+// Active, so a batch-frame-only workload surfaces congestion through its
+// measured turnaround instead.
+type LoadStatus struct {
+	// QueueDepth is the number of requests accepted by the server's
+	// micro-batch collectors but not yet answered (0 when batching is off
+	// or when all traffic arrives as pre-assembled batch frames).
+	QueueDepth uint32
+	// Active is the number of requests currently being SERVED across all
+	// connections (including this one) — in-flight dispatches excluding
+	// those parked in a collector queue, so QueueDepth > Active reads as
+	// "arrivals are outrunning service".
+	Active uint32
+}
+
+// loadStatusLen is the wire size of the trailing status field.
+const loadStatusLen = 8
+
+// appendLoadStatus extends a result payload with the trailing status field.
+func appendLoadStatus(b []byte, st LoadStatus) []byte {
+	out := make([]byte, len(b)+loadStatusLen)
+	copy(out, b)
+	binary.LittleEndian.PutUint32(out[len(b):], st.QueueDepth)
+	binary.LittleEndian.PutUint32(out[len(b)+4:], st.Active)
+	return out
+}
+
+// EncodeResultLoad is EncodeResult with the trailing LoadStatus field.
+func EncodeResultLoad(pred int32, conf float32, st LoadStatus) []byte {
+	return appendLoadStatus(EncodeResult(pred, conf), st)
+}
+
+// EncodeResultsLoad is EncodeResults with the trailing LoadStatus field.
+func EncodeResultsLoad(rs []Result, st LoadStatus) []byte {
+	return appendLoadStatus(EncodeResults(rs), st)
+}
+
+// DecodeResultLoad decodes a MsgResult payload with or without the trailing
+// LoadStatus field. hasLoad reports whether the frame carried one (legacy
+// 8-byte payloads decode with hasLoad == false), so a NEW edge interoperates
+// with an OLD server. The reverse is not true: servers always append the
+// status field, and the strict legacy decoders reject extended payloads —
+// upgrade edges before (or with) their servers.
+func DecodeResultLoad(b []byte) (pred int32, conf float32, st LoadStatus, hasLoad bool, err error) {
+	if len(b) == 8+loadStatusLen {
+		st.QueueDepth = binary.LittleEndian.Uint32(b[8:])
+		st.Active = binary.LittleEndian.Uint32(b[12:])
+		hasLoad = true
+		b = b[:8]
+	}
+	pred, conf, err = DecodeResult(b)
+	if err != nil {
+		return 0, 0, LoadStatus{}, false, err
+	}
+	return pred, conf, st, hasLoad, nil
+}
+
+// DecodeResultsLoad decodes a MsgResultBatch payload with or without the
+// trailing LoadStatus field (see DecodeResultLoad). The base layout is
+// self-describing — uint32 count then count results — so the 8 trailing
+// status bytes are unambiguous: a payload is either exactly the base length
+// or exactly base+8.
+func DecodeResultsLoad(b []byte) (rs []Result, st LoadStatus, hasLoad bool, err error) {
+	if len(b) >= 4+loadStatusLen {
+		n := binary.LittleEndian.Uint32(b)
+		if n <= uint32(MaxPayload/8) && len(b) == 4+8*int(n)+loadStatusLen {
+			st.QueueDepth = binary.LittleEndian.Uint32(b[len(b)-8:])
+			st.Active = binary.LittleEndian.Uint32(b[len(b)-4:])
+			hasLoad = true
+			b = b[:len(b)-loadStatusLen]
+		}
+	}
+	rs, err = DecodeResults(b)
+	if err != nil {
+		return nil, LoadStatus{}, false, err
+	}
+	return rs, st, hasLoad, nil
 }

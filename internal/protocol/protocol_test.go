@@ -255,3 +255,99 @@ func TestMsgTypeStrings(t *testing.T) {
 		}
 	}
 }
+
+// countingWriter counts Write calls — the contract under test is that one
+// frame costs exactly ONE write, because shaped links (netsim) charge their
+// one-way latency per write: a header+payload frame written as two calls
+// would pay the link latency twice per frame.
+type countingWriter struct {
+	writes int
+	bytes  int
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	w.bytes += len(p)
+	return len(p), nil
+}
+
+func TestWriteFrameSingleWrite(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), make([]byte, 4096)} {
+		w := &countingWriter{}
+		if err := WriteFrame(w, Frame{Type: MsgClassifyRaw, ID: 1, Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+		if w.writes != 1 {
+			t.Fatalf("payload len %d: frame cost %d Write calls, want exactly 1 (latency per write!)",
+				len(payload), w.writes)
+		}
+		if w.bytes != FrameWireSize(len(payload)) {
+			t.Fatalf("payload len %d: wrote %d bytes, want FrameWireSize = %d",
+				len(payload), w.bytes, FrameWireSize(len(payload)))
+		}
+	}
+}
+
+func TestFrameWireSize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: MsgPing, ID: 9, Payload: []byte("abc")}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != FrameWireSize(3) {
+		t.Fatalf("frame with 3-byte payload serialized to %d bytes, FrameWireSize says %d",
+			buf.Len(), FrameWireSize(3))
+	}
+}
+
+func TestResultLoadStatusRoundTrip(t *testing.T) {
+	st := LoadStatus{QueueDepth: 7, Active: 3}
+
+	// Single result, with status.
+	b := EncodeResultLoad(-2, 0.75, st)
+	pred, conf, got, hasLoad, err := DecodeResultLoad(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != -2 || conf != 0.75 || !hasLoad || got != st {
+		t.Fatalf("decoded %d/%v/%+v (hasLoad %v)", pred, conf, got, hasLoad)
+	}
+	// Legacy single result: decodes with hasLoad == false.
+	pred, conf, got, hasLoad, err = DecodeResultLoad(EncodeResult(5, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 5 || conf != 0.5 || hasLoad || got != (LoadStatus{}) {
+		t.Fatalf("legacy decode: %d/%v/%+v (hasLoad %v)", pred, conf, got, hasLoad)
+	}
+	// The strict legacy decoder must keep rejecting extended payloads (old
+	// edges talking to new servers go through DecodeResultLoad).
+	if _, _, err := DecodeResult(b); err == nil {
+		t.Fatal("strict DecodeResult accepted a status-extended payload")
+	}
+
+	// Result batch, with status, including the ambiguity edge: a status
+	// batch of n results is as long as a legacy batch of n+1 — the count
+	// field must disambiguate.
+	for _, rs := range [][]Result{nil, {{Pred: 1, Conf: 0.25}}, {{Pred: 3, Conf: 1}, {Pred: -1, Conf: 0}}} {
+		b := EncodeResultsLoad(rs, st)
+		got, gotSt, hasLoad, err := DecodeResultsLoad(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasLoad || gotSt != st || len(got) != len(rs) {
+			t.Fatalf("batch of %d: got %d results, status %+v (hasLoad %v)", len(rs), len(got), gotSt, hasLoad)
+		}
+		for i := range rs {
+			if got[i] != rs[i] {
+				t.Fatalf("result %d: %+v != %+v", i, got[i], rs[i])
+			}
+		}
+		legacy, _, hasLoad, err := DecodeResultsLoad(EncodeResults(rs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hasLoad || len(legacy) != len(rs) {
+			t.Fatalf("legacy batch of %d: %d results, hasLoad %v", len(rs), len(legacy), hasLoad)
+		}
+	}
+}

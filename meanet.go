@@ -30,10 +30,12 @@ import (
 	"github.com/meanet/meanet/internal/data"
 	"github.com/meanet/meanet/internal/edge"
 	"github.com/meanet/meanet/internal/energy"
+	"github.com/meanet/meanet/internal/linkest"
 	"github.com/meanet/meanet/internal/metrics"
 	"github.com/meanet/meanet/internal/models"
 	"github.com/meanet/meanet/internal/netsim"
 	"github.com/meanet/meanet/internal/profile"
+	"github.com/meanet/meanet/internal/protocol"
 	"github.com/meanet/meanet/internal/tensor"
 )
 
@@ -148,6 +150,15 @@ type (
 	CostParams = edge.CostParams
 	// Link models a network path (latency + bandwidth).
 	Link = netsim.Link
+	// LinkEstimate is a live uplink snapshot (RTT, throughput, samples)
+	// measured by the TCP client's link estimator.
+	LinkEstimate = linkest.Estimate
+	// AdaptConfig tunes the closed-loop adaptation (latency-budget
+	// threshold control and live auto-mode representation choice).
+	AdaptConfig = edge.AdaptConfig
+	// CloudLoadStatus is the server backpressure signal piggybacked on
+	// result frames.
+	CloudLoadStatus = protocol.LoadStatus
 )
 
 // Cost model types.
