@@ -26,6 +26,7 @@ import (
 	"github.com/meanet/meanet/internal/experiments"
 	"github.com/meanet/meanet/internal/models"
 	"github.com/meanet/meanet/internal/netsim"
+	"github.com/meanet/meanet/internal/netsim/fleet"
 	"github.com/meanet/meanet/internal/nn"
 	"github.com/meanet/meanet/internal/protocol"
 	"github.com/meanet/meanet/internal/tensor"
@@ -534,6 +535,79 @@ func BenchmarkAdaptiveOffload(b *testing.B) {
 	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "images/s")
 	b.ReportMetric(float64(client.BytesSent()-warmupBytes)/float64(b.N), "upload-B/op")
 	b.ReportMetric(float64(rep.RepFlips), "rep-flips")
+}
+
+// BenchmarkFleetOffload measures the multi-edge fleet scenario: N concurrent
+// edge runtimes against one slow serialized-accelerator cloud server, with
+// and without admission control (cloud.ShedPolicy). Each op is one whole
+// fleet run (dial, classify, close). Reported per op: aggregate images/s and
+// sheds/op — the shedding sub-benchmark trades shed instances (served at the
+// edge instead) for strictly less time queued behind the saturated server.
+func BenchmarkFleetOffload(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	backbone, err := models.BuildResNet(rng, models.ResNetSpec{
+		Name: "fleetbench", InChannels: 3, StemChannels: 4,
+		Channels: []int{4, 8}, Blocks: []int{1, 1}, Strides: []int{2, 2},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.BuildMEANetA(rng, backbone, 1, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cloudBackbone, err := models.BuildResNet(rng, models.ResNetSpec{
+		Name: "fleetbenchcloud", InChannels: 3, StemChannels: 8,
+		Channels: []int{8, 16}, Blocks: []int{1, 1}, Strides: []int{1, 2},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cloudModel := models.NewClassifier(rng, cloudBackbone, 8)
+
+	const edges, batches, batchSize = 4, 3, 16
+	x := tensor.Randn(rng, 1, batchSize, 3, 16, 16)
+	cost := &edge.CostParams{
+		Compute:    energy.EdgeGPUCIFAR(),
+		WiFi:       energy.DefaultWiFi(),
+		ImageBytes: 4 * 3 * 16 * 16,
+	}
+	run := func(b *testing.B, opts ...cloud.Option) {
+		b.Helper()
+		srv, err := cloud.NewServer(&fleet.SlowModel{Inner: cloudModel, Delay: 2 * time.Millisecond}, nil, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := fleet.Run(fleet.Config{
+				Addr:    srv.Addr().String(),
+				Edges:   edges,
+				Batches: batches,
+				Net:     m,
+				Policy:  core.Policy{Threshold: 0, UseCloud: true, CloudRetries: 1},
+				Cost:    cost,
+				Input:   x,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Instances != edges*batches*batchSize {
+				b.Fatalf("fleet classified %d instances, fed %d", res.Instances, edges*batches*batchSize)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(edges*batches*batchSize*b.N)/b.Elapsed().Seconds(), "images/s")
+		b.ReportMetric(float64(srv.Stats().Sheds)/float64(b.N), "sheds/op")
+	}
+	b.Run("park-all", func(b *testing.B) { run(b) })
+	b.Run("shedding", func(b *testing.B) {
+		run(b, cloud.WithShedding(cloud.ShedPolicy{MaxInFlight: 2, RetryAfter: 10 * time.Millisecond}))
+	})
 }
 
 func BenchmarkProtocolTensorRoundTrip(b *testing.B) {

@@ -7,6 +7,7 @@
 //	meanet-cloud [-addr :9400] [-dataset c100|imagenet] [-scale tiny|small|full]
 //	             [-seed N] [-epochs N] [-weights FILE] [-save FILE]
 //	             [-batch N] [-linger DUR] [-tail] [-variant A|B]
+//	             [-shed-queue N] [-shed-inflight N] [-shed-retry-after DUR]
 //
 // -batch enables server-side micro-batching: up to N concurrent classify
 // requests (from any number of edge connections) are coalesced into one
@@ -17,6 +18,13 @@
 // classify-features-batch), the edge runtime's default offload path, run as
 // one forward pass either way. Predictions are bitwise identical to the
 // unbatched path.
+//
+// -shed-queue and -shed-inflight enable admission control (load shedding):
+// while the micro-batch collectors hold at least -shed-queue parked requests
+// or at least -shed-inflight dispatches are in flight, classify requests are
+// answered with a shed frame carrying the -shed-retry-after hint (default
+// 50ms) instead of being parked — edges serve those instances themselves and
+// hold further offloads for the hinted duration. Pings are never shed.
 //
 // -tail additionally serves the §III-C "sending features" mode: the command
 // replays the edge's deterministic main-block pipeline (internal/deploy) for
@@ -66,8 +74,18 @@ func run(args []string) error {
 	linger := fs.Duration("linger", 2*time.Millisecond, "max wait for a micro-batch to fill")
 	tailMode := fs.Bool("tail", false, "serve the features mode: train a partitioned-network tail over the edge main block")
 	variant := fs.String("variant", "A", "edge MEANet variant the tail partitions (must match the edge)")
+	shedQueue := fs.Int64("shed-queue", 0, "shed classify requests while the collector queue holds at least this many (0 = off)")
+	shedInflight := fs.Int64("shed-inflight", 0, "shed classify requests while at least this many dispatches are in flight (0 = off)")
+	shedRetryAfter := fs.Duration("shed-retry-after", 0, "retry-after hint carried in shed frames (0 = default 50ms)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	shed := cloud.ShedPolicy{MaxQueue: *shedQueue, MaxInFlight: *shedInflight, RetryAfter: *shedRetryAfter}
+	if *shedQueue < 0 || *shedInflight < 0 {
+		return fmt.Errorf("negative shed limits (%d queue, %d inflight)", *shedQueue, *shedInflight)
+	}
+	if *shedQueue > 0 && *batch <= 0 {
+		return fmt.Errorf("-shed-queue needs -batch: only the micro-batch collectors have a queue")
 	}
 	scale, err := deploy.ParseScale(*scaleName)
 	if err != nil {
@@ -113,7 +131,7 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "partitioned model test accuracy: %.2f%%\n", 100*acc)
-		return serve(raw, tail, *addr, *dataset, synth.Train.NumClasses, *batch, *linger)
+		return serve(raw, tail, *addr, *dataset, synth.Train.NumClasses, *batch, *linger, shed)
 	}
 
 	rng := rand.New(rand.NewSource(*seed + 500))
@@ -172,14 +190,18 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "cloud model test accuracy: %.2f%%\n", 100*cm.Accuracy())
-	return serve(cls, nil, *addr, *dataset, synth.Train.NumClasses, *batch, *linger)
+	return serve(cls, nil, *addr, *dataset, synth.Train.NumClasses, *batch, *linger, shed)
 }
 
 // serve runs the TCP server until interrupted and prints shutdown stats.
-func serve(raw cloud.Model, tail *cloud.Tail, addr, dataset string, classes, batch int, linger time.Duration) error {
+func serve(raw cloud.Model, tail *cloud.Tail, addr, dataset string, classes, batch int, linger time.Duration, shed cloud.ShedPolicy) error {
 	var opts []cloud.Option
 	if batch > 0 {
 		opts = append(opts, cloud.WithBatching(cloud.BatchConfig{MaxBatch: batch, Linger: linger}))
+	}
+	shedding := shed.MaxQueue > 0 || shed.MaxInFlight > 0
+	if shedding {
+		opts = append(opts, cloud.WithShedding(shed))
 	}
 	srv, err := cloud.NewServer(raw, tail, opts...)
 	if err != nil {
@@ -194,6 +216,9 @@ func serve(raw cloud.Model, tail *cloud.Tail, addr, dataset string, classes, bat
 	}
 	if tail != nil {
 		mode += ", partitioned features tail"
+	}
+	if shedding {
+		mode += fmt.Sprintf(", shedding at queue %d / in-flight %d", shed.MaxQueue, shed.MaxInFlight)
 	}
 	fmt.Printf("cloud AI serving on %s (dataset %s, %d classes, %s)\n",
 		srv.Addr(), dataset, classes, mode)
@@ -210,6 +235,10 @@ func serve(raw cloud.Model, tail *cloud.Tail, addr, dataset string, classes, bat
 		st.Requests, st.Errors, st.TotalConns, st.BytesIn, st.BytesOut)
 	fmt.Fprintf(os.Stderr, "load at shutdown: %d in flight, %d queued (piggybacked to edges on every result)\n",
 		st.InFlight, st.QueueDepth)
+	if shedding {
+		fmt.Fprintf(os.Stderr, "admission control: %d requests shed, %d instances served\n",
+			st.Sheds, st.InstancesServed)
+	}
 	if st.Batches > 0 {
 		fmt.Fprintf(os.Stderr, "micro-batching: %d requests over %d forwards (mean batch %.1f)\n",
 			st.BatchedRequests, st.Batches, float64(st.BatchedRequests)/float64(st.Batches))

@@ -34,6 +34,13 @@
 // every batch — up when observed cloud latency blows the budget, down when
 // there is headroom. A broken connection is redialed with backoff instead
 // of bricking the client.
+//
+// A cloud running admission control (meanet-cloud -shed-queue/-shed-inflight)
+// may answer offloads with shed frames: those instances fall back to the
+// edge decision immediately (no retries burned, no upload charged), further
+// offloads are held for the server's retry-after hint, and the entropy
+// threshold steps up so fewer instances qualify — the report's "cloud sheds"
+// line counts both events and fallbacks.
 package main
 
 import (
@@ -236,6 +243,10 @@ func run(args []string) error {
 		rep.Exits[core.ExitMain], rep.Exits[core.ExitExtension], rep.Exits[core.ExitCloud],
 		100*rep.CloudFraction())
 	fmt.Printf("cloud failures:   %d\n", rep.CloudFailures)
+	if useCloud {
+		fmt.Printf("cloud sheds:      %d events, %d instances fell back to the edge (no upload charged)\n",
+			rep.ShedEvents, rep.ShedFallbacks)
+	}
 	fmt.Printf("uploads:          %d raw, %d feature (mode %s)\n",
 		rep.RawUploads, rep.FeatureUploads, mode)
 	fmt.Printf("bytes uploaded:   %d\n", rep.BytesSent)

@@ -14,6 +14,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/meanet/meanet/internal/nn"
 	"github.com/meanet/meanet/internal/protocol"
@@ -78,14 +79,53 @@ type Stats struct {
 	// (protocol.LoadStatus).
 	InFlight   int64
 	QueueDepth int64
+	// Sheds counts classify frames answered with a shed frame by admission
+	// control instead of being served (zero without a ShedPolicy). Shed
+	// frames are not Requests: they were refused, not dispatched.
+	Sheds uint64
+	// InstancesServed counts the INSTANCES the server classified (batch
+	// frames add their batch size), the unit the edge runtimes account in —
+	// Requests counts frames, which under batching says little about volume.
+	InstancesServed uint64
+}
+
+// ShedPolicy bounds the load the server ACCEPTS: while either limit is hit,
+// classify frames are answered with a protocol.MsgShed frame — carrying a
+// RetryAfter hint and the load snapshot — instead of being parked or served.
+// The limits read the same atomics the LoadStatus piggyback reads, so the
+// check costs two atomic loads per request. Shedding closes the loop the
+// piggybacked queue depth only hints at: a saturated server stops absorbing
+// work into unbounded queues and tells every edge to serve its own instances
+// for a while (the edge runtime treats a shed as an immediate edge fallback
+// and holds offloads for RetryAfter). Ping frames are never shed — probes
+// must work exactly when the server is busiest.
+type ShedPolicy struct {
+	// MaxQueue sheds while the micro-batch collectors hold at least this
+	// many parked requests (0 = queue depth never sheds). Meaningful only
+	// with WithBatching — client-assembled batch frames bypass the
+	// collectors and are governed by MaxInFlight.
+	MaxQueue int64
+	// MaxInFlight sheds while at least this many dispatches are in flight
+	// across all connections (0 = in-flight count never sheds).
+	MaxInFlight int64
+	// RetryAfter is the back-off hint carried in every shed frame
+	// (default 50ms).
+	RetryAfter time.Duration
+}
+
+func (p *ShedPolicy) fillDefaults() {
+	if p.RetryAfter <= 0 {
+		p.RetryAfter = 50 * time.Millisecond
+	}
 }
 
 // Server serves classification requests over TCP.
 type Server struct {
 	raw       Model
-	feat      *Tail    // nil when the features mode is unsupported
-	batch     *batcher // nil when micro-batching is disabled
-	featBatch *batcher // features-mode collector; nil unless batching and feat are both on
+	feat      *Tail       // nil when the features mode is unsupported
+	batch     *batcher    // nil when micro-batching is disabled
+	featBatch *batcher    // features-mode collector; nil unless batching and feat are both on
+	shedPol   *ShedPolicy // nil when admission control is disabled
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -99,7 +139,9 @@ type Server struct {
 	bytesOut   atomic.Uint64
 	active     atomic.Int64
 	total      atomic.Uint64
-	inflight   atomic.Int64 // requests currently being dispatched
+	inflight   atomic.Int64  // requests currently being dispatched
+	sheds      atomic.Uint64 // classify frames refused by admission control
+	instServed atomic.Uint64 // instances classified (batch frames count their size)
 }
 
 // Option configures optional server behaviour.
@@ -117,6 +159,14 @@ func WithBatching(cfg BatchConfig) Option {
 			s.featBatch = newBatcher(cfg, s.featLogits)
 		}
 	}
+}
+
+// WithShedding enables admission control: classify frames arriving while the
+// server is past the policy's limits are answered with a shed frame instead
+// of being accepted (see ShedPolicy).
+func WithShedding(pol ShedPolicy) Option {
+	pol.fillDefaults()
+	return func(s *Server) { s.shedPol = &pol }
 }
 
 // rawLogits runs the raw-image classifier on an NCHW batch.
@@ -194,7 +244,37 @@ func (s *Server) Stats() Stats {
 	}
 	st.InFlight = s.inflight.Load()
 	st.QueueDepth = int64(s.loadStatus().QueueDepth)
+	st.Sheds = s.sheds.Load()
+	st.InstancesServed = s.instServed.Load()
 	return st
+}
+
+// queuedDepth sums the parked requests across the collectors (0 without
+// batching) — shared by the LoadStatus piggyback and the shed check.
+func (s *Server) queuedDepth() int64 {
+	var queued int64
+	if s.batch != nil {
+		queued += s.batch.depth()
+	}
+	if s.featBatch != nil {
+		queued += s.featBatch.depth()
+	}
+	return queued
+}
+
+// shouldShed is the admission check run per classify frame: true while the
+// server is past either ShedPolicy limit. It reads the same atomics the
+// LoadStatus piggyback snapshots, so admission costs nothing next to even
+// the smallest forward pass.
+func (s *Server) shouldShed() bool {
+	p := s.shedPol
+	if p == nil {
+		return false
+	}
+	if p.MaxInFlight > 0 && s.inflight.Load() >= p.MaxInFlight {
+		return true
+	}
+	return p.MaxQueue > 0 && s.queuedDepth() >= p.MaxQueue
 }
 
 // loadStatus snapshots the backpressure counters piggybacked on every result
@@ -205,13 +285,7 @@ func (s *Server) Stats() Stats {
 // nothing next to a forward pass, and the edge gets a live congestion
 // signal with zero extra round trips.
 func (s *Server) loadStatus() protocol.LoadStatus {
-	var queued int64
-	if s.batch != nil {
-		queued += s.batch.depth()
-	}
-	if s.featBatch != nil {
-		queued += s.featBatch.depth()
-	}
+	queued := s.queuedDepth()
 	clamp := func(v int64) uint32 {
 		if v < 0 {
 			return 0
@@ -324,6 +398,24 @@ func (s *Server) handleConn(conn net.Conn) {
 		// Full frame size, header included: the client's BytesSent counter
 		// accounts whole frames, and the two ends must agree bitwise.
 		s.bytesIn.Add(uint64(protocol.FrameWireSize(len(f.Payload))))
+		if isClassify(f.Type) && s.shouldShed() {
+			// Admission control: answer with a shed frame — the retry-after
+			// hint plus the load snapshot that triggered it — and never park
+			// or dispatch the work. The payload was already read (framing
+			// must stay in sync) and is dropped here. The shed reply goes
+			// through writeResp, the SAME first-write-failure latch as
+			// results: sheds from this read loop interleave with results
+			// from in-flight batcher deliveries on one connection, and an
+			// unlatched shed write racing a close would recount the error
+			// and re-close the dead connection.
+			s.sheds.Add(1)
+			writeResp(protocol.Frame{
+				Type:    protocol.MsgShed,
+				ID:      f.ID,
+				Payload: protocol.EncodeShed(s.shedPol.RetryAfter, s.loadStatus()),
+			})
+			continue
+		}
 		collected := f.Type == protocol.MsgClassifyRaw && s.batch != nil ||
 			f.Type == protocol.MsgClassifyFeat && s.featBatch != nil
 		if collected {
@@ -341,6 +433,18 @@ func (s *Server) handleConn(conn net.Conn) {
 			continue
 		}
 		writeResp(s.dispatch(f))
+	}
+}
+
+// isClassify reports whether a frame type carries classification work — the
+// frames admission control may shed (pings and unknown types never are).
+func isClassify(t protocol.MsgType) bool {
+	switch t {
+	case protocol.MsgClassifyRaw, protocol.MsgClassifyFeat,
+		protocol.MsgClassifyBatch, protocol.MsgClassifyFeatBatch:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -394,6 +498,7 @@ func (s *Server) classify(f protocol.Frame, logits func(*tensor.Tensor) *tensor.
 		return errorFrame(f.ID, err.Error())
 	}
 	pred, conf := argmaxRow(out.Row(0))
+	s.instServed.Add(1)
 	return protocol.Frame{
 		Type:    protocol.MsgResult,
 		ID:      f.ID,
@@ -418,6 +523,7 @@ func (s *Server) classifyCollected(b *batcher, f protocol.Frame) protocol.Frame 
 		s.errorCount.Add(1)
 		return errorFrame(f.ID, err.Error())
 	}
+	s.instServed.Add(1)
 	return protocol.Frame{
 		Type:    protocol.MsgResult,
 		ID:      f.ID,
@@ -448,6 +554,7 @@ func (s *Server) classifyBatchFrame(f protocol.Frame, logits func(*tensor.Tensor
 		pred, conf := argmaxRow(out.Row(i))
 		results[i] = protocol.Result{Pred: int32(pred), Conf: conf}
 	}
+	s.instServed.Add(uint64(t.Dim(0)))
 	return protocol.Frame{
 		Type:    protocol.MsgResultBatch,
 		ID:      f.ID,

@@ -2,6 +2,7 @@ package cloud
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math/rand"
 	"net"
@@ -484,5 +485,148 @@ func TestServerStatsByteCounters(t *testing.T) {
 	}
 	if st.TotalConns != 1 {
 		t.Fatalf("TotalConns = %d, want 1", st.TotalConns)
+	}
+}
+
+// TestServerShedsUnderSaturation drives the admission-control path: with the
+// in-flight limit exceeded, classify requests (single and batch frames) are
+// answered with shed frames carrying the RetryAfter hint and load snapshot,
+// pings still work, and service resumes once the load drains.
+func TestServerShedsUnderSaturation(t *testing.T) {
+	cls := testClassifier(t, 40)
+	s, err := NewServer(cls, nil, WithShedding(ShedPolicy{MaxInFlight: 1, RetryAfter: 123 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	client, err := edge.DialCloud(s.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Saturate: pin the in-flight gauge past the limit.
+	s.inflight.Add(5)
+	rng := rand.New(rand.NewSource(41))
+	img := tensor.Randn(rng, 1, 3, 8, 8)
+	_, _, err = client.Classify(img)
+	var shed *edge.ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("saturated classify returned %v, want *edge.ShedError", err)
+	}
+	if !errors.Is(err, edge.ErrShed) {
+		t.Fatal("shed error does not match edge.ErrShed")
+	}
+	if shed.RetryAfter != 123*time.Millisecond {
+		t.Fatalf("RetryAfter hint %v, want 123ms", shed.RetryAfter)
+	}
+	if !shed.HasLoad {
+		t.Fatal("shed frame carried no load snapshot")
+	}
+	// Batch frames are shed too.
+	if _, _, err := client.ClassifyBatch([]*tensor.Tensor{img, img}); !errors.Is(err, edge.ErrShed) {
+		t.Fatalf("saturated batch returned %v, want shed", err)
+	}
+	// Probes are never shed: a busy server must stay observable.
+	if err := client.Ping(); err != nil {
+		t.Fatalf("ping shed or failed under saturation: %v", err)
+	}
+	if got := s.Stats().Sheds; got != 2 {
+		t.Fatalf("server counted %d sheds, want 2", got)
+	}
+	if got := client.Sheds(); got != 2 {
+		t.Fatalf("client counted %d sheds, want 2", got)
+	}
+	if got := s.Stats().Requests; got != 1 { // the ping; sheds are refusals, not requests
+		t.Fatalf("sheds counted as requests: %d", got)
+	}
+
+	// Load drains: the SAME connection serves again.
+	s.inflight.Add(-5)
+	if _, _, err := client.Classify(img); err != nil {
+		t.Fatalf("classify after drain: %v", err)
+	}
+	if got := s.Stats().InstancesServed; got != 1 {
+		t.Fatalf("InstancesServed = %d after one served classify, want 1", got)
+	}
+}
+
+// TestServerShedsOnQueueDepth covers the second admission limit: parked
+// collector work past MaxQueue sheds new classify frames.
+func TestServerShedsOnQueueDepth(t *testing.T) {
+	cls := testClassifier(t, 42)
+	s, err := NewServer(cls, nil,
+		WithBatching(BatchConfig{MaxBatch: 8, Linger: time.Millisecond}),
+		WithShedding(ShedPolicy{MaxQueue: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	client, err := edge.DialCloud(s.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	rng := rand.New(rand.NewSource(43))
+	img := tensor.Randn(rng, 1, 3, 8, 8)
+	// Pin the queue gauge past the limit (the collector itself would drain a
+	// real queue nondeterministically fast).
+	s.batch.queued.Add(3)
+	if _, _, err := client.Classify(img); !errors.Is(err, edge.ErrShed) {
+		t.Fatalf("deep queue returned %v, want shed", err)
+	}
+	s.batch.queued.Add(-3)
+	if _, _, err := client.Classify(img); err != nil {
+		t.Fatalf("classify after queue drain: %v", err)
+	}
+	// Default RetryAfter hint applies when the policy leaves it zero.
+	if s.shedPol.RetryAfter != 50*time.Millisecond {
+		t.Fatalf("default RetryAfter = %v, want 50ms", s.shedPol.RetryAfter)
+	}
+}
+
+// TestShedWritesLatchedOnDeadConn is the regression test for the shutdown
+// race: shed frames (written inline by the read loop) and results (written
+// by in-flight dispatches) interleave on one connection, and BOTH must go
+// through the same first-write-failure latch — on a dead connection the
+// server attempts ONE write, counts ONE error and closes once (plus the
+// normal teardown close), no matter how sheds and results interleave.
+func TestShedWritesLatchedOnDeadConn(t *testing.T) {
+	s, err := NewServer(testClassifier(t, 44), nil, WithShedding(ShedPolicy{MaxInFlight: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.inflight.Add(5) // every classify frame sheds
+	rng := rand.New(rand.NewSource(45))
+	img := protocol.EncodeTensor(tensor.Randn(rng, 1, 3, 8, 8))
+	var buf bytes.Buffer
+	for i := 0; i < 6; i++ {
+		f := protocol.Frame{Type: protocol.MsgPing, ID: uint64(i)}
+		if i%2 == 0 {
+			f = protocol.Frame{Type: protocol.MsgClassifyRaw, ID: uint64(i), Payload: img}
+		}
+		if err := protocol.WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn := &deadWriteConn{r: bytes.NewReader(buf.Bytes())}
+	s.active.Add(1) // handleConn's removeConn decrements it
+	s.wg.Add(1)
+	s.handleConn(conn)
+	if got := s.errorCount.Load(); got != 1 {
+		t.Fatalf("Errors = %d after a dead connection, want 1 (latched)", got)
+	}
+	if conn.writes != 1 {
+		t.Fatalf("server attempted %d writes on a dead connection, want 1", conn.writes)
+	}
+	if conn.closes != 2 {
+		t.Fatalf("connection closed %d times, want 2", conn.closes)
 	}
 }

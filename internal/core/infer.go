@@ -46,10 +46,21 @@ type Decision struct {
 	// fallback.
 	CloudFailed bool
 
+	// Shed is set when the cloud REFUSED the instance's offload through
+	// admission control (the cloud call's error wrapped ErrShed): the
+	// decision comes from the edge fallback, like CloudFailed, but no
+	// retries are burned — the server just said it is saturated, and
+	// re-uploading immediately would feed the congestion — and no
+	// CloudAttempts are charged: the modeled accounting bills offloads the
+	// cloud admitted, while the refused frame shows up only in the
+	// transport's wire counters.
+	Shed bool
+
 	// CloudAttempts counts the upload attempts this instance took part in
-	// (0 = never offloaded). With Policy.CloudRetries > 0 a failed instance
-	// is re-offloaded, and every attempt transmitted — byte and energy
-	// accounting must charge each one.
+	// (0 = never offloaded, and shed attempts are excluded — see Shed).
+	// With Policy.CloudRetries > 0 a failed instance is re-offloaded, and
+	// every attempt transmitted — byte and energy accounting must charge
+	// each one.
 	CloudAttempts int
 }
 
@@ -61,8 +72,20 @@ type CloudFunc func(x *tensor.Tensor) (pred int, conf float64, err error)
 // on the cloud AI in one round trip. preds and confs are indexed by batch
 // position. errs, when non-nil, carries per-instance failures: errs[i] != nil
 // means instance i alone falls back to the edge. A non-nil err fails every
-// instance of the batch (the whole upload was lost).
+// instance of the batch (the whole upload was lost) — unless it wraps
+// ErrShed, in which case the batch was refused by admission control and the
+// attempt loop stops instead of retrying (see Decision.Shed).
 type CloudBatchFunc func(x *tensor.Tensor) (preds []int, confs []float64, errs []error, err error)
+
+// ErrShed is the sentinel a CloudBatchFunc error wraps when the cloud
+// refused the whole batch through ADMISSION CONTROL (load shedding) rather
+// than failing in transport: the server is saturated and answered with a
+// shed frame instead of parking the work. The attempt loop does not retry a
+// shed — the refusal is deliberate, and re-uploading the same batch would
+// feed the congestion the server is trying to relieve; the edge runtime
+// honors the server's retry-after hint across batches instead
+// (edge.ShedError carries it).
+var ErrShed = errors.New("core: cloud shed the offload")
 
 // SerialOffload adapts a per-instance CloudFunc into a CloudBatchFunc that
 // issues one round trip per instance — the legacy offload pattern, kept for
@@ -212,6 +235,17 @@ func (m *MEANet) InferBatchedRep(x *tensor.Tensor, pol Policy, rep OffloadRep, c
 		pending := cloudIdx
 		for attempt := 0; len(pending) > 0 && attempt <= pol.CloudRetries; attempt++ {
 			preds, confs, errs, err := cloud(gatherSamples(src, pending))
+			if errors.Is(err, ErrShed) {
+				// Admission control refused the batch: every pending
+				// instance takes the edge fallback NOW, with no retries
+				// burned and no attempts charged (the offload was refused,
+				// not served — see Decision.Shed).
+				for _, i := range pending {
+					decisions[i].Shed = true
+				}
+				pending = nil
+				break
+			}
 			if err == nil && (len(preds) != len(pending) || len(confs) != len(pending)) {
 				err = fmt.Errorf("core: cloud batch returned %d/%d results for %d instances",
 					len(preds), len(confs), len(pending))

@@ -6,6 +6,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -255,6 +256,66 @@ func TestInferBatchedRetryThenFallback(t *testing.T) {
 	for i, d := range dec {
 		if d.Exit != ExitCloud || d.Pred != 1 || d.CloudAttempts != 2 {
 			t.Fatalf("instance %d should recover from the malformed response: %+v", i, d)
+		}
+	}
+}
+
+// TestInferBatchedShedNoRetryBurn pins the admission-control contract: a
+// cloud call whose error wraps ErrShed ends the attempt loop after ONE call
+// — even with retries granted — and the pending instances take the edge
+// fallback with Shed set, zero CloudAttempts (no charges) and CloudFailed
+// clear (the server refused; nothing failed).
+func TestInferBatchedShedNoRetryBurn(t *testing.T) {
+	m := buildA(t, 60, 6)
+	x := tensor.Randn(newRand(60), 1, 5, 2, 8, 8)
+	calls := 0
+	shedCloud := func(sub *tensor.Tensor) ([]int, []float64, []error, error) {
+		calls++
+		return nil, nil, nil, fmt.Errorf("transport says: %w", ErrShed)
+	}
+	dec, err := m.InferBatched(x, Policy{Threshold: 0, UseCloud: true, CloudRetries: 3}, shedCloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("shed burned retries: %d calls, want 1", calls)
+	}
+	for i, d := range dec {
+		if !d.Shed {
+			t.Fatalf("instance %d not marked shed: %+v", i, d)
+		}
+		if d.Exit == ExitCloud {
+			t.Fatalf("instance %d exited at a cloud that shed it", i)
+		}
+		if d.CloudAttempts != 0 {
+			t.Fatalf("instance %d charged %d attempts for a refused offload", i, d.CloudAttempts)
+		}
+		if d.CloudFailed {
+			t.Fatalf("instance %d marked CloudFailed for a deliberate shed", i)
+		}
+	}
+
+	// A shed on a RETRY (first attempt fails in transport, second is shed)
+	// also stops the loop: the surviving pending set is shed, the first
+	// attempt stays charged.
+	calls = 0
+	flaky := func(sub *tensor.Tensor) ([]int, []float64, []error, error) {
+		calls++
+		if calls == 1 {
+			return nil, nil, nil, errors.New("transport fault")
+		}
+		return nil, nil, nil, ErrShed
+	}
+	dec, err = m.InferBatched(x, Policy{Threshold: 0, UseCloud: true, CloudRetries: 3}, flaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("fault-then-shed made %d calls, want 2", calls)
+	}
+	for i, d := range dec {
+		if !d.Shed || d.CloudAttempts != 1 || d.CloudFailed {
+			t.Fatalf("instance %d after fault-then-shed: %+v (want Shed, 1 attempt, not failed)", i, d)
 		}
 	}
 }

@@ -208,6 +208,7 @@ type TCPClient struct {
 	redialing  bool // a goroutine is dialing outside the lock; others fail fast
 
 	bytesSent atomic.Uint64
+	sheds     atomic.Uint64 // requests answered with a shed frame
 
 	est *linkest.Estimator
 
@@ -502,12 +503,42 @@ func (c *TCPClient) roundTrip(msgType protocol.MsgType, t *tensor.Tensor) (int, 
 		}
 		c.observe(len(payload), writeDur, time.Since(waitStart), load, hasLoad)
 		return int(pred), float64(conf), nil
+	case protocol.MsgShed:
+		return 0, 0, c.shedResult(f.Payload)
 	case protocol.MsgError:
 		return 0, 0, fmt.Errorf("edge: cloud error: %s", f.Payload)
 	default:
 		return 0, 0, fmt.Errorf("edge: unexpected response type %s", f.Type)
 	}
 }
+
+// shedResult decodes a shed frame into the typed *ShedError, folding the
+// piggybacked load snapshot into the last-seen server load (a shed is the
+// backpressure signal at its sharpest) and counting the event. The link
+// estimator is deliberately NOT fed: no inference ran, so the wait phase
+// measured only the admission check — folding that in would bias the RTT
+// estimate fast exactly when the server is slowest.
+func (c *TCPClient) shedResult(payload []byte) error {
+	retryAfter, load, hasLoad, err := protocol.DecodeShed(payload)
+	if err != nil {
+		return fmt.Errorf("edge: bad shed frame: %w", err)
+	}
+	c.sheds.Add(1)
+	if hasLoad {
+		c.loadMu.Lock()
+		c.lastLoad = load
+		c.haveLoad = true
+		c.loadMu.Unlock()
+	}
+	if retryAfter < 0 {
+		retryAfter = 0
+	}
+	return &ShedError{RetryAfter: retryAfter, Load: load, HasLoad: hasLoad}
+}
+
+// Sheds reports how many of this client's requests the cloud answered with a
+// shed frame.
+func (c *TCPClient) Sheds() uint64 { return c.sheds.Load() }
 
 // observe folds one successful exchange into the live link estimate and the
 // last-seen server load.
@@ -612,6 +643,8 @@ func (c *TCPClient) stackedRoundTrip(msgType protocol.MsgType, batch *tensor.Ten
 			confs[i] = float64(r.Conf)
 		}
 		return preds, confs, nil
+	case protocol.MsgShed:
+		return nil, nil, c.shedResult(f.Payload)
 	case protocol.MsgError:
 		return nil, nil, fmt.Errorf("edge: cloud error: %s", f.Payload)
 	default:

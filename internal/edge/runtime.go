@@ -186,6 +186,15 @@ type Report struct {
 	RawUploads     int
 	FeatureUploads int
 
+	// ShedEvents counts cloud calls answered with a shed frame (admission
+	// control refusals); ShedFallbacks counts the INSTANCES those calls
+	// pushed onto the edge fallback. Shed instances charge no upload
+	// bytes/energy — the modeled accounting bills admitted offloads, so a
+	// fleet's books always balance as
+	// (edge-served − shed-fallbacks) + cloud-served + shed-fallbacks == N.
+	ShedEvents    int
+	ShedFallbacks int
+
 	// Modeled cumulative latency: edge computation time and upload
 	// serialization time (the paper's latency argument for early exits:
 	// instances that terminate at the edge skip the upload entirely).
@@ -226,9 +235,12 @@ type Runtime struct {
 	lastRep        core.OffloadRep
 	haveLastRep    bool
 	repFlips       int
+	shedUntil      time.Time // offload hold from the last shed's RetryAfter
 	n              int
 	exits          map[core.ExitPoint]int
 	cloudFailures  int
+	shedEvents     int
+	shedFallbacks  int
 	bytesSent      int64
 	rawUploads     int
 	featUploads    int
@@ -236,6 +248,10 @@ type Runtime struct {
 	latencyCompute time.Duration
 	latencyComm    time.Duration
 }
+
+// defaultShedRetryAfter is the offload hold applied when a shed arrives
+// without a usable RetryAfter hint (a legacy frame or a zero hint).
+const defaultShedRetryAfter = 50 * time.Millisecond
 
 // NewRuntime builds a runtime. cloud may be nil (edge-only operation);
 // cost may be nil (no energy accounting).
@@ -506,7 +522,25 @@ func queueSaturated(load protocol.LoadStatus) bool {
 // decrease when there is headroom, a deadband in between. The threshold
 // only moves if Classify actually talked to the cloud this batch — edge-only
 // batches carry no fresh link information.
-func (r *Runtime) adaptThreshold(snap adaptSnapshot, rep core.OffloadRep) {
+//
+// shed marks a batch whose offload the server REFUSED: that is the
+// definitive over-capacity signal — stronger than the queue heuristic, and
+// meaningful even without a latency budget or a mature link estimate — so
+// the step up runs unconditionally.
+func (r *Runtime) adaptThreshold(snap adaptSnapshot, rep core.OffloadRep, shed bool) {
+	if shed {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		th := r.policy.Threshold * (1 + snap.adapt.StepUp)
+		if th < snap.adapt.MinThreshold {
+			th = snap.adapt.MinThreshold
+		}
+		if th > snap.adapt.MaxThreshold {
+			th = snap.adapt.MaxThreshold
+		}
+		r.policy.Threshold = th
+		return
+	}
 	est, ok := snap.liveEstimate()
 	if !ok || snap.budget <= 0 || r.cost == nil {
 		return
@@ -564,10 +598,18 @@ func (r *Runtime) Classify(x *tensor.Tensor) ([]core.Decision, error) {
 		lastRep:     r.lastRep,
 		haveLastRep: r.haveLastRep,
 	}
+	shedHold := time.Now().Before(r.shedUntil)
 	r.mu.Unlock()
 	rep := core.RepRaw
 	var cloudFn core.CloudBatchFunc
-	if pol.UseCloud && r.cloud != nil {
+	shedSeen := false
+	shedRetryAfter := time.Duration(0)
+	// A live shed hold keeps the batch on the edge entirely: the server
+	// asked for RetryAfter of silence, so qualifying instances take the edge
+	// decision without a round trip (and without upload charges) until the
+	// window expires — honoring the hint is what makes shedding cheaper
+	// than letting every edge hammer a saturated server with rejections.
+	if pol.UseCloud && r.cloud != nil && !shedHold {
 		rep = r.resolveRep(mode, snap)
 		if rep == core.RepFeatures {
 			fc, ok := r.cloud.(FeatureCloudClient)
@@ -577,6 +619,21 @@ func (r *Runtime) Classify(x *tensor.Tensor) ([]core.Decision, error) {
 			cloudFn = FeatureBatchOffload(fc)
 		} else {
 			cloudFn = BatchOffload(r.cloud)
+		}
+		// Capture shed replies on their way through to core's attempt loop:
+		// core stops retrying on them, but only the runtime can honor the
+		// RetryAfter hint (it spans batches, not attempts).
+		inner := cloudFn
+		cloudFn = func(sub *tensor.Tensor) ([]int, []float64, []error, error) {
+			preds, confs, errs, err := inner(sub)
+			if err != nil && errors.Is(err, ErrShed) {
+				shedSeen = true
+				var se *ShedError
+				if errors.As(err, &se) {
+					shedRetryAfter = se.RetryAfter
+				}
+			}
+			return preds, confs, errs, err
 		}
 	}
 	decisions, err := r.net.InferBatchedRep(x, pol, rep, cloudFn)
@@ -593,13 +650,35 @@ func (r *Runtime) Classify(x *tensor.Tensor) ([]core.Decision, error) {
 	// Representation flips are an auto-mode metric (the trace of live
 	// adaptation); manual SetOffloadMode switches are not counted.
 	r.account(decisions, rep, cloudFn != nil && mode == OffloadAuto)
-	if offloaded {
+	if shedSeen {
+		r.noteShed(shedRetryAfter)
+		// The shed feeds the threshold controller immediately: the entropy
+		// threshold rises BEFORE the next batch ships, so fewer instances
+		// even qualify once the hold expires.
+		r.adaptThreshold(snap, rep, true)
+	} else if offloaded {
 		// One controller step per batch that actually exercised the link:
 		// the estimator has fresh samples and the threshold error signal is
 		// current.
-		r.adaptThreshold(snap, rep)
+		r.adaptThreshold(snap, rep, false)
 	}
 	return decisions, nil
+}
+
+// noteShed records one admission-control refusal: the event counter and the
+// RetryAfter hold during which Classify keeps qualifying instances on the
+// edge without attempting an upload. Overlapping sheds extend the hold, they
+// never shorten it.
+func (r *Runtime) noteShed(retryAfter time.Duration) {
+	if retryAfter <= 0 {
+		retryAfter = defaultShedRetryAfter
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.shedEvents++
+	if until := time.Now().Add(retryAfter); until.After(r.shedUntil) {
+		r.shedUntil = until
+	}
 }
 
 // account folds a batch of decisions into the counters. rep is the upload
@@ -622,6 +701,13 @@ func (r *Runtime) account(decisions []core.Decision, rep core.OffloadRep, trackR
 		r.exits[d.Exit]++
 		if d.CloudFailed {
 			r.cloudFailures++
+		}
+		if d.Shed {
+			// A shed instance is served by the edge with ZERO upload
+			// charges: CloudAttempts stays 0 for refused offloads (see
+			// core.Decision.Shed), so the byte/energy loop below never
+			// bills it — only this counter records the detour.
+			r.shedFallbacks++
 		}
 		if d.CloudAttempts > 0 {
 			if rep == core.RepFeatures {
@@ -667,6 +753,8 @@ func (r *Runtime) Report() Report {
 		BytesSent:      r.bytesSent,
 		RawUploads:     r.rawUploads,
 		FeatureUploads: r.featUploads,
+		ShedEvents:     r.shedEvents,
+		ShedFallbacks:  r.shedFallbacks,
 		Energy:         r.energyTotal,
 		LatencyCompute: r.latencyCompute,
 		LatencyComm:    r.latencyComm,
@@ -675,13 +763,17 @@ func (r *Runtime) Report() Report {
 	}
 }
 
-// Reset clears the accounting (the policy and transports stay).
+// Reset clears the accounting (the policy and transports stay, and so does
+// a live shed hold — it reflects the server's state, not this runtime's
+// books).
 func (r *Runtime) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.n = 0
 	r.exits = make(map[core.ExitPoint]int)
 	r.cloudFailures = 0
+	r.shedEvents = 0
+	r.shedFallbacks = 0
 	r.bytesSent = 0
 	r.rawUploads = 0
 	r.featUploads = 0

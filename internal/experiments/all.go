@@ -40,6 +40,7 @@ func Runners() []Runner {
 		{"table7", wrap(TableVII)},
 		{"offload-modes", wrap(OffloadModes)},
 		{"adaptive-link", wrap(AdaptiveLink)},
+		{"fleet-shedding", wrap(FleetShedding)},
 		{"ablation-combine", wrap(AblationCombine)},
 		{"ablation-optimization", wrap(AblationOptimization)},
 		{"ablation-detector", wrap(AblationDetector)},

@@ -354,8 +354,8 @@ func TestRunOneUnknownName(t *testing.T) {
 
 func TestNamesComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 18 {
-		t.Fatalf("have %d experiments, want 18", len(names))
+	if len(names) != 19 {
+		t.Fatalf("have %d experiments, want 19", len(names))
 	}
 	seen := map[string]bool{}
 	for _, n := range names {
@@ -364,7 +364,7 @@ func TestNamesComplete(t *testing.T) {
 		}
 		seen[n] = true
 	}
-	for _, want := range []string{"fig7", "table2", "table6", "offload-modes", "ablation-combine"} {
+	for _, want := range []string{"fig7", "table2", "table6", "offload-modes", "fleet-shedding", "ablation-combine"} {
 		if !seen[want] {
 			t.Fatalf("experiment %q missing", want)
 		}
@@ -473,6 +473,62 @@ func TestAdaptiveLinkClosedLoop(t *testing.T) {
 	if recovered.ThresholdEnd >= degraded.ThresholdEnd {
 		t.Fatalf("recovered phase did not lower the threshold: %.4f → %.4f",
 			degraded.ThresholdEnd, recovered.ThresholdEnd)
+	}
+	if testing.Verbose() {
+		t.Log("\n" + r.String())
+	}
+}
+
+// TestFleetSheddingLoadShedding is the acceptance test of the multi-edge
+// tentpole: at the saturating fleet size, the server running admission
+// control must sustain STRICTLY higher aggregate throughput than the server
+// that parks every request behind its slow accelerator — while every shed
+// instance is accounted as an edge fallback (the fleet harness fails the run
+// if edge + cloud + shed-fallback ever disagrees with the instance total;
+// the soak test asserts the same identity under faults).
+func TestFleetSheddingLoadShedding(t *testing.T) {
+	skipPaperScale(t)
+	r, err := FleetShedding(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("have %d rows, want 6 (3 fleet sizes × 2 server modes)", len(r.Rows))
+	}
+	sat := r.MaxEdges()
+	park, ok := r.Row(sat, false)
+	if !ok {
+		t.Fatalf("no park-all row at %d edges", sat)
+	}
+	shed, ok := r.Row(sat, true)
+	if !ok {
+		t.Fatalf("no shedding row at %d edges", sat)
+	}
+	// The park-all server must actually be saturated for the comparison to
+	// mean anything: cloud traffic present, and aggregate throughput well
+	// below the single-edge number.
+	if park.Beta == 0 {
+		t.Fatal("park-all fleet never offloaded; the scenario exercises nothing")
+	}
+	if shed.ImagesPerSec <= park.ImagesPerSec {
+		t.Fatalf("shedding server not faster at %d edges: %.0f vs %.0f images/s",
+			sat, shed.ImagesPerSec, park.ImagesPerSec)
+	}
+	// Shedding must have actually happened at saturation — and only under
+	// the shedding server.
+	if shed.ShedRate == 0 || shed.ShedEvents == 0 {
+		t.Fatalf("shedding server at %d edges shed nothing (rate %.3f, %d events)",
+			sat, shed.ShedRate, shed.ShedEvents)
+	}
+	for _, row := range r.Rows {
+		if !row.Shed && (row.ShedRate != 0 || row.ShedEvents != 0) {
+			t.Fatalf("park-all row at %d edges reports shed activity: %+v", row.Edges, row)
+		}
+	}
+	// A lone edge cannot saturate MaxInFlight=2 with one pipelined batch
+	// frame at a time: the shedding server must be transparent at N=1.
+	if single, ok := r.Row(1, true); !ok || single.ShedRate != 0 {
+		t.Fatalf("shedding server shed a single-edge fleet: %+v", single)
 	}
 	if testing.Verbose() {
 		t.Log("\n" + r.String())

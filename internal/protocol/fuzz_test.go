@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"math"
 	"testing"
+	"time"
 
 	"github.com/meanet/meanet/internal/tensor"
 )
@@ -250,6 +251,39 @@ func FuzzDecodeResultLoad(f *testing.F) {
 		}
 		if !bytes.Equal(back, data) {
 			t.Fatalf("accepted payload is not canonical (hasLoad %v)", hasLoad)
+		}
+	})
+}
+
+// FuzzDecodeShed feeds arbitrary bytes into the shed-frame decoder (the
+// admission-control reply, legacy-compatible like the LoadStatus result
+// decoders): accepted payloads must re-encode canonically through whichever
+// layout was decoded — EncodeShed when hasLoad, the 8-byte base otherwise.
+func FuzzDecodeShed(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeShed(50*time.Millisecond, LoadStatus{QueueDepth: 3, Active: 1}))
+	f.Add(EncodeShed(0, LoadStatus{}))
+	f.Add(EncodeShed(-time.Second, LoadStatus{QueueDepth: math.MaxUint32}))
+	f.Add(make([]byte, 8))
+	f.Add(make([]byte, 16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		retryAfter, st, hasLoad, err := DecodeShed(data)
+		if err != nil {
+			return
+		}
+		var back []byte
+		if hasLoad {
+			back = EncodeShed(retryAfter, st)
+		} else {
+			if st != (LoadStatus{}) {
+				t.Fatalf("no status on the wire but decoded %+v", st)
+			}
+			back = make([]byte, shedBaseLen)
+			binary.LittleEndian.PutUint64(back, uint64(retryAfter))
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("accepted shed payload is not canonical (%d vs %d bytes, hasLoad %v)",
+				len(back), len(data), hasLoad)
 		}
 	})
 }

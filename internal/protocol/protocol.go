@@ -1,6 +1,7 @@
 // Package protocol defines the binary wire format between the edge runtime
 // and the cloud AI server: length-prefixed frames carrying either a raw
-// image, a feature tensor, a classification result, or an error. The paper's
+// image, a feature tensor, a classification result, an error, or a shed
+// notice (the admission-control refusal, see EncodeShed). The paper's
 // two edge-cloud collaboration modes (§III-C: sending raw data or processed
 // features) map onto the two classify message types.
 package protocol
@@ -10,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"github.com/meanet/meanet/internal/tensor"
 )
@@ -28,6 +30,7 @@ const (
 	MsgClassifyBatch                        // payload: batched image tensor [N,C,H,W]
 	MsgResultBatch                          // payload: uint32 count + count results
 	MsgClassifyFeatBatch                    // payload: batched feature tensor [N,C,H,W]
+	MsgShed                                 // payload: uint64 retry-after nanos (+ optional LoadStatus)
 )
 
 // String names the message type.
@@ -51,6 +54,8 @@ func (t MsgType) String() string {
 		return "result-batch"
 	case MsgClassifyFeatBatch:
 		return "classify-features-batch"
+	case MsgShed:
+		return "shed"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -279,6 +284,45 @@ func EncodeResultLoad(pred int32, conf float32, st LoadStatus) []byte {
 // EncodeResultsLoad is EncodeResults with the trailing LoadStatus field.
 func EncodeResultsLoad(rs []Result, st LoadStatus) []byte {
 	return appendLoadStatus(EncodeResults(rs), st)
+}
+
+// shedBaseLen is the wire size of a shed payload's retry-after field.
+const shedBaseLen = 8
+
+// EncodeShed serializes a MsgShed payload: the server's retry-after hint
+// (int64 nanoseconds) followed by the same trailing LoadStatus field result
+// frames carry, so a shed reply delivers the congestion snapshot that caused
+// it. MsgShed is the reply a server under admission control sends INSTEAD of
+// parking or serving a classify request: the request was read and discarded,
+// no inference ran, and the client should not re-offer load before the hint
+// elapses. Servers that never shed never emit the frame, so an old server
+// interoperates with a new edge unchanged; an OLD edge receiving MsgShed
+// treats it as an unexpected response type and falls back to the edge
+// decision — safe, just without the retry-after courtesy.
+func EncodeShed(retryAfter time.Duration, st LoadStatus) []byte {
+	base := make([]byte, shedBaseLen)
+	binary.LittleEndian.PutUint64(base, uint64(retryAfter))
+	return appendLoadStatus(base, st)
+}
+
+// DecodeShed decodes a MsgShed payload with or without the trailing
+// LoadStatus field, mirroring the legacy-compatibility contract of
+// DecodeResultLoad: the 8-byte base payload decodes with hasLoad == false,
+// the 16-byte extended payload carries the load snapshot. The retry-after
+// bits are returned as-is (the encoding is canonical); callers clamp
+// negative hints to zero rather than the decoder rejecting them.
+func DecodeShed(b []byte) (retryAfter time.Duration, st LoadStatus, hasLoad bool, err error) {
+	switch len(b) {
+	case shedBaseLen:
+	case shedBaseLen + loadStatusLen:
+		st.QueueDepth = binary.LittleEndian.Uint32(b[shedBaseLen:])
+		st.Active = binary.LittleEndian.Uint32(b[shedBaseLen+4:])
+		hasLoad = true
+	default:
+		return 0, LoadStatus{}, false, fmt.Errorf("protocol: shed payload length %d, want %d or %d",
+			len(b), shedBaseLen, shedBaseLen+loadStatusLen)
+	}
+	return time.Duration(binary.LittleEndian.Uint64(b)), st, hasLoad, nil
 }
 
 // DecodeResultLoad decodes a MsgResult payload with or without the trailing

@@ -2,9 +2,11 @@ package protocol
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"github.com/meanet/meanet/internal/tensor"
 )
@@ -228,6 +230,7 @@ func TestMsgTypeWireValuesStable(t *testing.T) {
 		MsgClassifyBatch:     7,
 		MsgResultBatch:       8,
 		MsgClassifyFeatBatch: 9,
+		MsgShed:              10,
 	}
 	for ty, v := range want {
 		if uint8(ty) != v {
@@ -247,6 +250,7 @@ func TestMsgTypeStrings(t *testing.T) {
 		MsgClassifyBatch:     "classify-batch",
 		MsgResultBatch:       "result-batch",
 		MsgClassifyFeatBatch: "classify-features-batch",
+		MsgShed:              "shed",
 		MsgType(99):          "msgtype(99)",
 	}
 	for ty, want := range names {
@@ -348,6 +352,36 @@ func TestResultLoadStatusRoundTrip(t *testing.T) {
 		}
 		if hasLoad || len(legacy) != len(rs) {
 			t.Fatalf("legacy batch of %d: %d results, hasLoad %v", len(rs), len(legacy), hasLoad)
+		}
+	}
+}
+
+func TestShedRoundTrip(t *testing.T) {
+	st := LoadStatus{QueueDepth: 12, Active: 4}
+	b := EncodeShed(75*time.Millisecond, st)
+	retryAfter, got, hasLoad, err := DecodeShed(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retryAfter != 75*time.Millisecond || !hasLoad || got != st {
+		t.Fatalf("decoded %v/%+v (hasLoad %v)", retryAfter, got, hasLoad)
+	}
+
+	// Legacy base payload (no trailing status): decodes with hasLoad false.
+	legacy := make([]byte, 8)
+	binary.LittleEndian.PutUint64(legacy, uint64(50*time.Millisecond))
+	retryAfter, got, hasLoad, err = DecodeShed(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retryAfter != 50*time.Millisecond || hasLoad || got != (LoadStatus{}) {
+		t.Fatalf("legacy decode: %v/%+v (hasLoad %v)", retryAfter, got, hasLoad)
+	}
+
+	// Any other length is rejected.
+	for _, n := range []int{0, 1, 7, 9, 15, 17, 32} {
+		if _, _, _, err := DecodeShed(make([]byte, n)); err == nil {
+			t.Fatalf("%d-byte shed payload accepted", n)
 		}
 	}
 }

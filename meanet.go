@@ -159,6 +159,12 @@ type (
 	// CloudLoadStatus is the server backpressure signal piggybacked on
 	// result frames.
 	CloudLoadStatus = protocol.LoadStatus
+	// ShedPolicy bounds the load a CloudServer accepts before answering
+	// classify requests with shed frames (admission control).
+	ShedPolicy = cloud.ShedPolicy
+	// ShedError is the typed error a shed offload surfaces as on the edge
+	// (match with errors.Is(err, ErrShed)).
+	ShedError = edge.ShedError
 )
 
 // Cost model types.
@@ -225,6 +231,11 @@ var (
 
 	// NewCloudServer builds a TCP classification server.
 	NewCloudServer = cloud.NewServer
+	// WithShedding enables admission control on a CloudServer.
+	WithShedding = cloud.WithShedding
+	// ErrShed is the sentinel for offloads refused by cloud admission
+	// control (the edge falls back without burning retries).
+	ErrShed = edge.ErrShed
 	// DialCloud connects to a cloud server.
 	DialCloud = edge.DialCloud
 	// NewRuntime builds an edge inference runtime.
