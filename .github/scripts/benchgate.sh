@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# benchgate.sh <base.txt> <head.txt>
+#
+# The CI bench-regression gate: compares two `go test -bench` outputs and
+# fails (exit 1) on a >15% regression in the gated benchmarks:
+#
+#   - MatMul512 and MEANetInferBatch: best (minimum) ns/op
+#   - every FleetOffload sub-benchmark: best (maximum) images/s
+#
+# "Best of N" over the -count repetitions damps scheduler noise on shared
+# runners: a genuine regression slows the best rep too, while a noisy rep
+# only inflates the worst. 15% sits far above the residual jitter of
+# -benchtime=3x -count=3 on these benchmarks.
+set -euo pipefail
+
+base=${1:?usage: benchgate.sh base.txt head.txt}
+head=${2:?usage: benchgate.sh base.txt head.txt}
+
+fail=0
+
+# min_ns FILE NAME: minimum ns/op among lines for benchmark NAME (exact name,
+# modulo the -GOMAXPROCS suffix).
+min_ns() {
+  awk -v name="$2" '
+    $1 ~ ("^" name "(-[0-9]+)?$") {
+      for (i = 2; i < NF; i++)
+        if ($(i + 1) == "ns/op" && (best == "" || $i + 0 < best + 0)) best = $i
+    }
+    END { print best }
+  ' "$1"
+}
+
+# max_metric FILE NAME UNIT: maximum UNIT value among lines for NAME.
+max_metric() {
+  awk -v name="$2" -v unit="$3" '
+    $1 ~ ("^" name "(-[0-9]+)?$") {
+      for (i = 2; i < NF; i++)
+        if ($(i + 1) == unit && (best == "" || $i + 0 > best + 0)) best = $i
+    }
+    END { print best }
+  ' "$1"
+}
+
+# gate NAME BASE HEAD DIRECTION UNIT: print the comparison, flip $fail on a
+# >15% move the wrong way. DIRECTION is "lower" (ns/op) or "higher"
+# (images/s) for "which side is better".
+gate() {
+  local name=$1 b=$2 h=$3 dir=$4 unit=$5
+  if [ -z "$b" ] || [ -z "$h" ]; then
+    echo "benchgate: MISSING $name (base='${b:-}' head='${h:-}')"
+    fail=1
+    return
+  fi
+  if ! awk -v b="$b" -v h="$h" -v name="$name" -v dir="$dir" -v unit="$unit" '
+    BEGIN {
+      r = h / b
+      bad = (dir == "lower") ? (r > 1.15) : (r < 0.85)
+      printf "benchgate: %-45s %14.1f -> %14.1f %-9s (%.3fx) %s\n",
+        name, b, h, unit, r, bad ? "REGRESSION" : "ok"
+      exit bad ? 1 : 0
+    }'; then
+    fail=1
+  fi
+}
+
+for name in BenchmarkMatMul512 BenchmarkMEANetInferBatch; do
+  gate "$name" "$(min_ns "$base" "$name")" "$(min_ns "$head" "$name")" lower ns/op
+done
+
+# FleetOffload sub-benchmarks, discovered from the BASE file so a head that
+# silently drops one fails as MISSING instead of passing unexamined.
+subs=$(awk '$1 ~ /^BenchmarkFleetOffload\// { sub(/-[0-9]+$/, "", $1); print $1 }' "$base" | sort -u)
+if [ -z "$subs" ]; then
+  echo "benchgate: MISSING BenchmarkFleetOffload in base output"
+  fail=1
+fi
+for name in $subs; do
+  gate "$name" "$(max_metric "$base" "$name" images/s)" "$(max_metric "$head" "$name" images/s)" higher images/s
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "benchgate: FAILED — >15% regression (or missing benchmark) in gated set"
+  exit 1
+fi
+echo "benchgate: all gated benchmarks within 15% of base"

@@ -36,6 +36,12 @@
 // The companion meanet-edge command, started with the same -dataset, -scale,
 // -seed and -variant, generates the identical synthetic dataset and offloads
 // its complex instances here.
+//
+// For a multi-replica cloud tier, start several meanet-cloud instances on
+// distinct -addr ports (identical -dataset/-scale/-seed/-variant so every
+// replica serves the same model) and hand the edge the full list:
+// meanet-edge -cloud host:9400,host:9401. Each replica runs its own
+// admission control; the edge routes around shed or dead replicas.
 package main
 
 import (

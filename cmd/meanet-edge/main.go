@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	meanet-edge [-cloud 127.0.0.1:9400] [-dataset c100|imagenet]
+//	meanet-edge [-cloud host1:9400,host2:9401,...] [-dataset c100|imagenet]
 //	            [-scale tiny|small|full] [-seed N] [-threshold T]
 //	            [-variant A|B] [-latency 10ms] [-mbps 18.88] [-batch N]
 //	            [-offload raw|features|auto] [-retries N]
@@ -41,6 +41,15 @@
 // offloads are held for the server's retry-after hint, and the entropy
 // threshold steps up so fewer instances qualify — the report's "cloud sheds"
 // line counts both events and fallbacks.
+//
+// -cloud accepts a comma-separated list of replica addresses (start one
+// meanet-cloud per address, same -dataset/-scale/-seed/-variant). The edge
+// then keeps a pipelined connection to every replica and routes each offload
+// batch by power-of-two-choices over piggybacked load × measured link RTT
+// (edge.MultiClient): a shed from one replica fails over to the next open
+// one before any edge fallback, a dead replica is excluded temporarily while
+// its connection redials in the background, and the final report prints
+// per-replica offload/shed/failure counts.
 package main
 
 import (
@@ -48,6 +57,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/meanet/meanet/internal/core"
@@ -68,7 +78,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("meanet-edge", flag.ContinueOnError)
-	cloudAddr := fs.String("cloud", "127.0.0.1:9400", "cloud server address (empty = edge only)")
+	cloudAddr := fs.String("cloud", "127.0.0.1:9400", "comma-separated cloud replica addresses (empty = edge only)")
 	dataset := fs.String("dataset", "c100", "dataset preset: c100 or imagenet")
 	scaleName := fs.String("scale", "small", "workload scale: tiny, small or full")
 	seed := fs.Int64("seed", 1, "master random seed (must match the cloud)")
@@ -145,24 +155,29 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "entropy means (val): correct %.3f, wrong %.3f; using threshold %.3f\n", lo, hi, th)
 
-	// Cloud transport.
+	// Cloud transport: one pipelined connection per replica address, routed
+	// by edge.MultiClient when there is more than one.
 	var client edge.CloudClient
-	var tcpClient *edge.TCPClient
-	useCloud := *cloudAddr != ""
+	addrs := edge.SplitAddrs(*cloudAddr)
+	useCloud := len(addrs) > 0
 	if useCloud {
-		tcp, err := edge.DialCloud(*cloudAddr, edge.DialConfig{
-			Link: netsim.Link{Latency: *latency, Mbps: *mbps},
-		})
+		dcfg := edge.DialConfig{Link: netsim.Link{Latency: *latency, Mbps: *mbps}}
+		var err error
+		if len(addrs) == 1 {
+			client, err = edge.DialCloud(addrs[0], dcfg)
+		} else {
+			client, err = edge.DialMultiCloud(addrs, dcfg, edge.MultiConfig{})
+		}
 		if err != nil {
 			return fmt.Errorf("dial cloud: %w", err)
 		}
-		defer tcp.Close()
-		if err := tcp.Ping(); err != nil {
-			return fmt.Errorf("cloud ping: %w", err)
+		defer client.Close()
+		if p, ok := client.(interface{ Ping() error }); ok {
+			if err := p.Ping(); err != nil {
+				return fmt.Errorf("cloud ping: %w", err)
+			}
 		}
-		fmt.Fprintf(os.Stderr, "connected to cloud at %s\n", *cloudAddr)
-		client = tcp
-		tcpClient = tcp
+		fmt.Fprintf(os.Stderr, "connected to %d cloud replica(s): %s\n", len(addrs), strings.Join(addrs, ", "))
 	}
 
 	// Energy model. FeatureBytes comes from the main block's actual output
@@ -258,13 +273,25 @@ func run(args []string) error {
 		fmt.Printf("adaptation:       threshold %.3f (started %.3f), %d representation flips\n",
 			rep.Threshold, th, rep.RepFlips)
 	}
-	if tcpClient != nil {
-		est := tcpClient.LinkEstimate()
-		fmt.Printf("link estimate:    rtt %v, %.2f Mbps over %d samples\n",
-			est.RTT.Round(time.Microsecond), est.Mbps, est.Samples)
-		if load, ok := tcpClient.CloudLoad(); ok {
-			fmt.Printf("cloud load:       queue %d, active %d (last piggybacked status)\n",
-				load.QueueDepth, load.Active)
+	if useCloud {
+		if le, ok := client.(edge.LinkEstimator); ok {
+			est := le.LinkEstimate()
+			fmt.Printf("link estimate:    rtt %v, %.2f Mbps over %d samples\n",
+				est.RTT.Round(time.Microsecond), est.Mbps, est.Samples)
+		}
+		if lr, ok := client.(edge.LoadReporter); ok {
+			if load, ok := lr.CloudLoad(); ok {
+				fmt.Printf("cloud load:       queue %d, active %d (last piggybacked status)\n",
+					load.QueueDepth, load.Active)
+			}
+		}
+		for _, rs := range rep.Replicas {
+			excl := ""
+			if rs.Excluded {
+				excl = " (excluded)"
+			}
+			fmt.Printf("replica %-22s %d offloads, %d sheds, %d failures, %d wire bytes%s\n",
+				rs.Addr+":", rs.Offloads, rs.Sheds, rs.Failures, rs.BytesSent, excl)
 		}
 	}
 	return nil

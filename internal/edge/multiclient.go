@@ -1,0 +1,573 @@
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/meanet/meanet/internal/linkest"
+	"github.com/meanet/meanet/internal/protocol"
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+// MultiConfig tunes a MultiClient's routing behavior. The zero value picks
+// usable defaults.
+type MultiConfig struct {
+	// FailureExclusion is how long a replica is taken out of the candidate
+	// set after a transport error (default 250ms). The underlying client's
+	// redial-with-backoff repairs the connection in the background; the
+	// exclusion just keeps the router from burning every batch's first
+	// attempt on a replica that is mid-outage. A shed uses the server's own
+	// RetryAfter hint instead.
+	FailureExclusion time.Duration
+	// Seed seeds the power-of-two-choices sampler (default 1). Routing is
+	// load-driven — the seed only breaks ties among equally scored replicas —
+	// so any seed gives the same aggregate behavior; a fixed default keeps
+	// simulations reproducible.
+	Seed int64
+}
+
+func (c *MultiConfig) fillDefaults() {
+	if c.FailureExclusion <= 0 {
+		c.FailureExclusion = 250 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// ReplicaStats is one replica's accounting snapshot (see
+// MultiClient.ReplicaStats and Report.Replicas).
+type ReplicaStats struct {
+	// Addr identifies the replica (the dialed address, or "replica-i" when
+	// the client was built over pre-dialed transports).
+	Addr string
+	// Offloads counts classify round trips this replica answered.
+	Offloads uint64
+	// Sheds counts classify calls this replica refused with a shed frame.
+	Sheds uint64
+	// Failures counts transport errors (broken connection, timeout) the
+	// router observed from this replica.
+	Failures uint64
+	// Excluded reports whether the replica was inside an exclusion window at
+	// snapshot time.
+	Excluded bool
+	// BytesSent is the replica transport's wire-byte counter (0 when the
+	// transport does not report one).
+	BytesSent uint64
+}
+
+// ReplicaReporter surfaces per-replica accounting. *MultiClient implements
+// it; edge.Runtime.Report folds the snapshot into Report.Replicas when its
+// cloud client does.
+type ReplicaReporter interface {
+	ReplicaStats() []ReplicaStats
+}
+
+// scoreBaseSeconds floors the latency term of a replica's routing score, so
+// a replica with no link estimate yet (or a sub-millisecond RTT) is scored by
+// its load alone instead of reading as infinitely attractive or repulsive.
+const scoreBaseSeconds = 1e-3
+
+// MultiClient routes offloads across M cloud replicas. It implements the
+// same FeatureCloudClient interface as the single-connection TCPClient, so
+// the edge runtime, core.InferBatchedRep, the auto offload mode and the
+// threshold controller all work unchanged on top of it.
+//
+// Routing is client-side power-of-two-choices: each call samples two open
+// replicas and takes the one with the lower score, where a replica's score
+// combines the load its server last piggybacked on a result frame
+// (queue depth + in-flight dispatches) with the replica link's measured RTT.
+// Two random choices with local scores avoid the herd behavior of
+// deterministic least-loaded routing when many edges share the same stale
+// load snapshots.
+//
+// A shed reply excludes the replica until its retry-after hint expires and
+// the call moves on to the next open replica; only when EVERY replica is
+// shed or excluded does the call surface a ShedError, which degrades the
+// runtime to the single-cloud edge-hold behavior (instances take the edge
+// decision with zero upload charges until the earliest replica reopens). A
+// transport error likewise fails the call over to the next replica, with a
+// short failure exclusion while the underlying client redials in the
+// background — so a replica dying mid-run costs at most the batches that
+// were in flight on it.
+type MultiClient struct {
+	replicas []CloudClient
+	addrs    []string
+	cfg      MultiConfig
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	until    []time.Time // exclusion expiry per replica (zero = open)
+	shedExcl []bool      // active exclusion consists of sheds only
+	offloads []uint64
+	sheds    []uint64
+	failures []uint64
+	now      func() time.Time // test hook; time.Now in production
+}
+
+var _ FeatureCloudClient = (*MultiClient)(nil)
+var _ ReplicaReporter = (*MultiClient)(nil)
+
+// NewMultiClient builds a router over pre-dialed replica transports. addrs
+// labels the replicas for reporting; it may be nil or must match clients in
+// length. The MultiClient owns the transports: Close closes them all.
+func NewMultiClient(clients []CloudClient, addrs []string, cfg MultiConfig) (*MultiClient, error) {
+	if len(clients) == 0 {
+		return nil, errors.New("edge: multi-client needs at least one replica")
+	}
+	if addrs != nil && len(addrs) != len(clients) {
+		return nil, fmt.Errorf("edge: %d addrs for %d replicas", len(addrs), len(clients))
+	}
+	for i, c := range clients {
+		if c == nil {
+			return nil, fmt.Errorf("edge: replica %d is nil", i)
+		}
+	}
+	if addrs == nil {
+		addrs = make([]string, len(clients))
+		for i := range addrs {
+			addrs[i] = fmt.Sprintf("replica-%d", i)
+		}
+	}
+	cfg.fillDefaults()
+	return &MultiClient{
+		replicas: clients,
+		addrs:    addrs,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		until:    make([]time.Time, len(clients)),
+		shedExcl: make([]bool, len(clients)),
+		offloads: make([]uint64, len(clients)),
+		sheds:    make([]uint64, len(clients)),
+		failures: make([]uint64, len(clients)),
+		now:      time.Now,
+	}, nil
+}
+
+// DialMultiCloud dials every replica address with the same DialConfig (each
+// replica gets its own connection, link shaping and redial-with-backoff) and
+// wraps them in a MultiClient. All addresses must dial — a replica that is
+// down at startup is a deployment error, not a routing condition; replicas
+// that die LATER are survived by exclusion + failover + redial.
+func DialMultiCloud(addrs []string, cfg DialConfig, mcfg MultiConfig) (*MultiClient, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("edge: no replica addresses")
+	}
+	clients := make([]CloudClient, 0, len(addrs))
+	for _, addr := range addrs {
+		c, err := DialCloud(addr, cfg)
+		if err != nil {
+			for _, prev := range clients {
+				prev.Close()
+			}
+			return nil, err
+		}
+		clients = append(clients, c)
+	}
+	return NewMultiClient(clients, addrs, mcfg)
+}
+
+// SplitAddrs parses a comma-separated replica address list (the meanet-edge
+// -cloud flag): entries are trimmed and empties dropped, so "a, b," is
+// ["a" "b"].
+func SplitAddrs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// score ranks replica i for the next offload; lower is better. The load the
+// server last piggybacked (queue depth + in-flight dispatches) multiplies the
+// link's measured RTT: each queued unit of work is another service time the
+// new batch waits behind, and the RTT converts that count into this
+// replica's time units. Signals that are not known yet read as optimistic
+// (zero load, floor RTT), so cold replicas get explored rather than starved.
+func (m *MultiClient) score(i int) float64 {
+	load := 0.0
+	if lr, ok := m.replicas[i].(LoadReporter); ok {
+		if st, ok := lr.CloudLoad(); ok {
+			load = float64(st.QueueDepth) + float64(st.Active)
+		}
+	}
+	lat := scoreBaseSeconds
+	if le, ok := m.replicas[i].(LinkEstimator); ok {
+		if est := le.LinkEstimate(); est.Samples > 0 && est.RTT > 0 {
+			lat += est.RTT.Seconds()
+		}
+	}
+	return (1 + load) * lat
+}
+
+// pick selects the next replica to try: power-of-two-choices over the open
+// (not excluded, not yet tried this call) candidates. tried may be nil.
+func (m *MultiClient) pick(tried []bool) (int, bool) {
+	m.mu.Lock()
+	now := m.now()
+	cands := make([]int, 0, len(m.replicas))
+	for i := range m.replicas {
+		if tried != nil && tried[i] {
+			continue
+		}
+		if now.Before(m.until[i]) {
+			continue
+		}
+		cands = append(cands, i)
+	}
+	var a, b int
+	switch len(cands) {
+	case 0:
+		m.mu.Unlock()
+		return 0, false
+	case 1:
+		m.mu.Unlock()
+		return cands[0], true
+	case 2:
+		// Random order, not cands[0] vs cands[1]: the comparison below keeps
+		// a on a tie, and with two replicas behind similar links score ties
+		// are the COMMON case — a fixed order would herd every edge onto the
+		// same replica while the other idles.
+		a, b = cands[0], cands[1]
+		if m.rng.Intn(2) == 1 {
+			a, b = b, a
+		}
+	default:
+		// Two distinct candidates, sampled without replacement: draw the
+		// second from the remaining len-1 slots and shift it past the first.
+		ai := m.rng.Intn(len(cands))
+		bi := m.rng.Intn(len(cands) - 1)
+		if bi >= ai {
+			bi++
+		}
+		a, b = cands[ai], cands[bi]
+	}
+	// Scoring reads the replicas' own locks (load, link estimate); do it
+	// outside m.mu so a slow replica cannot serialize every router decision.
+	m.mu.Unlock()
+	if m.score(b) < m.score(a) {
+		return b, true
+	}
+	return a, true
+}
+
+// best is the deterministic variant of pick used for read-only signal
+// queries (LinkEstimate, CloudLoad): the minimum-score open replica, the
+// same one the next offload would most likely land on.
+func (m *MultiClient) best() (int, bool) {
+	m.mu.Lock()
+	now := m.now()
+	cands := make([]int, 0, len(m.replicas))
+	for i := range m.replicas {
+		if !now.Before(m.until[i]) {
+			cands = append(cands, i)
+		}
+	}
+	m.mu.Unlock()
+	if len(cands) == 0 {
+		return 0, false
+	}
+	bestI := cands[0]
+	bestS := m.score(bestI)
+	for _, i := range cands[1:] {
+		if s := m.score(i); s < bestS {
+			bestI, bestS = i, s
+		}
+	}
+	return bestI, true
+}
+
+// exclude opens (or extends — never shortens) replica i's exclusion window.
+// shedOrigin tracks whether the ACTIVE window consists of sheds only: the
+// all-replicas-excluded degradation is a zero-charge edge hold exactly when
+// the servers asked for silence, and a plain failure when transports died.
+func (m *MultiClient) exclude(i int, d time.Duration, shedOrigin bool) {
+	now := m.now()
+	active := now.Before(m.until[i])
+	if until := now.Add(d); until.After(m.until[i]) {
+		m.until[i] = until
+	}
+	if active {
+		m.shedExcl[i] = m.shedExcl[i] && shedOrigin
+	} else {
+		m.shedExcl[i] = shedOrigin
+	}
+}
+
+// noteResult folds one routed call's outcome into replica i's counters and
+// exclusion state.
+func (m *MultiClient) noteResult(i int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case err == nil:
+		m.offloads[i]++
+	case errors.Is(err, ErrShed):
+		m.sheds[i]++
+		ra := defaultShedRetryAfter
+		var se *ShedError
+		if errors.As(err, &se) && se.RetryAfter > 0 {
+			ra = se.RetryAfter
+		}
+		m.exclude(i, ra, true)
+	default:
+		m.failures[i]++
+		m.exclude(i, m.cfg.FailureExclusion, false)
+	}
+}
+
+// holdState reports when the earliest exclusion expires and whether every
+// replica's active exclusion is shed-origin.
+func (m *MultiClient) holdState() (reopen time.Duration, allShed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	allShed = true
+	first := true
+	for i := range m.replicas {
+		if !now.Before(m.until[i]) {
+			// An open replica: no hold at all (the caller raced an expiry;
+			// not a shed — the next call will route normally).
+			return 0, false
+		}
+		if !m.shedExcl[i] {
+			allShed = false
+		}
+		if d := m.until[i].Sub(now); first || d < reopen {
+			reopen, first = d, false
+		}
+	}
+	return reopen, allShed
+}
+
+// route tries replicas until one answers: pick, call, and on error exclude
+// and move on. When every replica is excluded (on entry or because this
+// call's attempts excluded the rest), the degraded-mode error depends on WHY:
+// all sheds → a ShedError whose RetryAfter spans the earliest reopen (the
+// runtime holds offloads with zero charges, exactly the single-cloud PR-5
+// behavior); any transport failure in the mix → a plain error (the instances
+// take the per-instance fallback with CloudFailed accounting).
+func (m *MultiClient) route(call func(c CloudClient) error) error {
+	tried := make([]bool, len(m.replicas))
+	var lastErr error
+	for {
+		i, ok := m.pick(tried)
+		if !ok {
+			break
+		}
+		err := call(m.replicas[i])
+		m.noteResult(i, err)
+		if err == nil {
+			return nil
+		}
+		tried[i] = true
+		lastErr = err
+	}
+	reopen, allShed := m.holdState()
+	if allShed {
+		// Every replica asked for silence: surface one shed covering the
+		// earliest reopen. Load is intentionally absent — the snapshots
+		// belong to individual replicas, not the fleet.
+		return &ShedError{RetryAfter: reopen}
+	}
+	if lastErr != nil {
+		if errors.Is(lastErr, ErrShed) {
+			// Mixed outage: sheds happened, but transports died too, so the
+			// degraded mode is a FAILURE (CloudFailed accounting, per-policy
+			// retries), not a zero-charge hold — a hold fabricated out of a
+			// transport outage would silently stop billing failed attempts.
+			// %v, not %w: the shed identity must not leak through.
+			return fmt.Errorf("edge: sheds and transport failures across all %d replicas (last: %v)",
+				len(m.replicas), lastErr)
+		}
+		return lastErr
+	}
+	return fmt.Errorf("edge: all %d replicas excluded after transport failures (next retry in %v)",
+		len(m.replicas), reopen.Round(time.Millisecond))
+}
+
+// splitSamples views an NCHW batch as per-sample CHW tensors (the slow path
+// for replica transports without the stacked fast path).
+func splitSamples(batch *tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, batch.Dim(0))
+	for i := range out {
+		out[i] = batch.Sample(i)
+	}
+	return out
+}
+
+// Classify routes one raw image to a replica.
+func (m *MultiClient) Classify(img *tensor.Tensor) (pred int, conf float64, err error) {
+	err = m.route(func(c CloudClient) error {
+		var e error
+		pred, conf, e = c.Classify(img)
+		return e
+	})
+	return pred, conf, err
+}
+
+// ClassifyBatch routes one raw batch to a replica (the whole batch goes to
+// ONE replica — splitting a batch would turn one round trip into several and
+// defeat the server-side batched forward).
+func (m *MultiClient) ClassifyBatch(imgs []*tensor.Tensor) (preds []int, confs []float64, err error) {
+	err = m.route(func(c CloudClient) error {
+		var e error
+		preds, confs, e = c.ClassifyBatch(imgs)
+		return e
+	})
+	return preds, confs, err
+}
+
+// ClassifyFeaturesBatch routes one feature batch to a replica. Replicas
+// should be uniformly tail-equipped: a tail-less replica answers with an
+// error, which the router treats as a failure (exclusion + failover).
+func (m *MultiClient) ClassifyFeaturesBatch(feats []*tensor.Tensor) (preds []int, confs []float64, err error) {
+	err = m.route(func(c CloudClient) error {
+		fc, ok := c.(FeatureCloudClient)
+		if !ok {
+			return errors.New("edge: replica cannot carry features")
+		}
+		var e error
+		preds, confs, e = fc.ClassifyFeaturesBatch(feats)
+		return e
+	})
+	return preds, confs, err
+}
+
+// classifyStacked is the BatchOffload fast path: the stacked batch goes to
+// the routed replica without re-splitting when that replica also has the
+// fast path.
+func (m *MultiClient) classifyStacked(batch *tensor.Tensor) (preds []int, confs []float64, err error) {
+	err = m.route(func(c CloudClient) error {
+		var e error
+		if sc, ok := c.(stackedBatchClient); ok {
+			preds, confs, e = sc.classifyStacked(batch)
+		} else {
+			preds, confs, e = c.ClassifyBatch(splitSamples(batch))
+		}
+		return e
+	})
+	return preds, confs, err
+}
+
+// classifyFeaturesStacked is classifyStacked for the features mode.
+func (m *MultiClient) classifyFeaturesStacked(batch *tensor.Tensor) (preds []int, confs []float64, err error) {
+	err = m.route(func(c CloudClient) error {
+		if sc, ok := c.(stackedFeatureBatchClient); ok {
+			var e error
+			preds, confs, e = sc.classifyFeaturesStacked(batch)
+			return e
+		}
+		fc, ok := c.(FeatureCloudClient)
+		if !ok {
+			return errors.New("edge: replica cannot carry features")
+		}
+		var e error
+		preds, confs, e = fc.ClassifyFeaturesBatch(splitSamples(batch))
+		return e
+	})
+	return preds, confs, err
+}
+
+// LinkEstimate reports the best open replica's live link estimate — the link
+// the next offload would use, which is what the runtime's budget controller
+// and auto mode need to predict with.
+func (m *MultiClient) LinkEstimate() linkest.Estimate {
+	i, ok := m.best()
+	if !ok {
+		return linkest.Estimate{}
+	}
+	if le, ok := m.replicas[i].(LinkEstimator); ok {
+		return le.LinkEstimate()
+	}
+	return linkest.Estimate{}
+}
+
+// CloudLoad reports the best open replica's piggybacked load snapshot.
+func (m *MultiClient) CloudLoad() (protocol.LoadStatus, bool) {
+	i, ok := m.best()
+	if !ok {
+		return protocol.LoadStatus{}, false
+	}
+	if lr, ok := m.replicas[i].(LoadReporter); ok {
+		return lr.CloudLoad()
+	}
+	return protocol.LoadStatus{}, false
+}
+
+// Sheds reports the total shed replies observed across all replicas.
+func (m *MultiClient) Sheds() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n uint64
+	for _, s := range m.sheds {
+		n += s
+	}
+	return n
+}
+
+// BytesSent sums the replicas' wire-byte counters.
+func (m *MultiClient) BytesSent() uint64 {
+	var n uint64
+	for _, c := range m.replicas {
+		if bc, ok := c.(interface{ BytesSent() uint64 }); ok {
+			n += bc.BytesSent()
+		}
+	}
+	return n
+}
+
+// Ping verifies every replica end to end (startup health check); the errors
+// of dead replicas are joined.
+func (m *MultiClient) Ping() error {
+	var errs []error
+	for i, c := range m.replicas {
+		if p, ok := c.(interface{ Ping() error }); ok {
+			if err := p.Ping(); err != nil {
+				errs = append(errs, fmt.Errorf("replica %s: %w", m.addrs[i], err))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// ReplicaStats snapshots the per-replica accounting.
+func (m *MultiClient) ReplicaStats() []ReplicaStats {
+	m.mu.Lock()
+	now := m.now()
+	out := make([]ReplicaStats, len(m.replicas))
+	for i := range m.replicas {
+		out[i] = ReplicaStats{
+			Addr:     m.addrs[i],
+			Offloads: m.offloads[i],
+			Sheds:    m.sheds[i],
+			Failures: m.failures[i],
+			Excluded: now.Before(m.until[i]),
+		}
+	}
+	m.mu.Unlock()
+	for i, c := range m.replicas {
+		if bc, ok := c.(interface{ BytesSent() uint64 }); ok {
+			out[i].BytesSent = bc.BytesSent()
+		}
+	}
+	return out
+}
+
+// Close closes every replica transport; the first error wins but all are
+// closed.
+func (m *MultiClient) Close() error {
+	var first error
+	for _, c := range m.replicas {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -208,6 +208,11 @@ type Report struct {
 	// representation (raw↔features) — the observable trace of live link
 	// adaptation.
 	RepFlips int
+
+	// Replicas is the per-replica routing snapshot when the cloud client is
+	// a multi-replica router (edge.MultiClient); nil for single-connection
+	// transports.
+	Replicas []ReplicaStats
 }
 
 // CloudFraction is β: the fraction of instances that exited at the cloud.
@@ -740,6 +745,12 @@ func (r *Runtime) account(decisions []core.Decision, rep core.OffloadRep, trackR
 
 // Report snapshots the accumulated statistics.
 func (r *Runtime) Report() Report {
+	// The replica snapshot comes from the client's own lock; take it before
+	// r.mu so the two locks never nest the other way anywhere.
+	var replicas []ReplicaStats
+	if rr, ok := r.cloud.(ReplicaReporter); ok {
+		replicas = rr.ReplicaStats()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	exits := make(map[core.ExitPoint]int, len(r.exits))
@@ -747,6 +758,7 @@ func (r *Runtime) Report() Report {
 		exits[k] = v
 	}
 	return Report{
+		Replicas:       replicas,
 		N:              r.n,
 		Exits:          exits,
 		CloudFailures:  r.cloudFailures,

@@ -41,6 +41,7 @@ func Runners() []Runner {
 		{"offload-modes", wrap(OffloadModes)},
 		{"adaptive-link", wrap(AdaptiveLink)},
 		{"fleet-shedding", wrap(FleetShedding)},
+		{"fleet-replicas", wrap(FleetReplicas)},
 		{"ablation-combine", wrap(AblationCombine)},
 		{"ablation-optimization", wrap(AblationOptimization)},
 		{"ablation-detector", wrap(AblationDetector)},

@@ -354,8 +354,8 @@ func TestRunOneUnknownName(t *testing.T) {
 
 func TestNamesComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 19 {
-		t.Fatalf("have %d experiments, want 19", len(names))
+	if len(names) != 20 {
+		t.Fatalf("have %d experiments, want 20", len(names))
 	}
 	seen := map[string]bool{}
 	for _, n := range names {
@@ -364,7 +364,7 @@ func TestNamesComplete(t *testing.T) {
 		}
 		seen[n] = true
 	}
-	for _, want := range []string{"fig7", "table2", "table6", "offload-modes", "fleet-shedding", "ablation-combine"} {
+	for _, want := range []string{"fig7", "table2", "table6", "offload-modes", "fleet-shedding", "fleet-replicas", "ablation-combine"} {
 		if !seen[want] {
 			t.Fatalf("experiment %q missing", want)
 		}
@@ -529,6 +529,60 @@ func TestFleetSheddingLoadShedding(t *testing.T) {
 	// frame at a time: the shedding server must be transparent at N=1.
 	if single, ok := r.Row(1, true); !ok || single.ShedRate != 0 {
 		t.Fatalf("shedding server shed a single-edge fleet: %+v", single)
+	}
+	if testing.Verbose() {
+		t.Log("\n" + r.String())
+	}
+}
+
+func TestFleetReplicasScaling(t *testing.T) {
+	skipPaperScale(t)
+	r, err := FleetReplicas(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("have %d rows, want 3 (1/2/4 replicas)", len(r.Rows))
+	}
+	base, ok := r.Row(1)
+	if !ok || base.ImagesPerSec <= 0 {
+		t.Fatalf("no usable 1-replica baseline: %+v", base)
+	}
+	// Threshold 0 must actually put the cloud on the critical path.
+	for _, row := range r.Rows {
+		if row.Beta < 0.99 {
+			t.Fatalf("%d-replica run offloaded only %.1f%% — the scenario is not cloud-bound",
+				row.Replicas, 100*row.Beta)
+		}
+	}
+	// The acceptance bar: going 1→2 replicas buys ≥1.7× aggregate
+	// throughput, and 4 replicas keep improving on 2.
+	two, ok := r.Row(2)
+	if !ok {
+		t.Fatal("no 2-replica row")
+	}
+	if two.Speedup < 1.7 {
+		t.Fatalf("2 replicas scale only %.2f× (%.0f vs %.0f images/s), want ≥ 1.7×",
+			two.Speedup, two.ImagesPerSec, base.ImagesPerSec)
+	}
+	four, ok := r.Row(4)
+	if !ok {
+		t.Fatal("no 4-replica row")
+	}
+	if four.ImagesPerSec <= two.ImagesPerSec {
+		t.Fatalf("4 replicas no faster than 2: %.0f vs %.0f images/s",
+			four.ImagesPerSec, two.ImagesPerSec)
+	}
+	// Every replica must have carried offloads — p2c spreading, not pinning.
+	for _, row := range r.Rows {
+		if len(row.Offloads) != row.Replicas {
+			t.Fatalf("%d-replica row reports %d per-replica counters", row.Replicas, len(row.Offloads))
+		}
+		for rep, o := range row.Offloads {
+			if o == 0 {
+				t.Fatalf("replica %d of %d starved: %+v", rep, row.Replicas, row.Offloads)
+			}
+		}
 	}
 	if testing.Verbose() {
 		t.Log("\n" + r.String())

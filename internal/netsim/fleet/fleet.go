@@ -1,6 +1,7 @@
 // Package fleet is the multi-edge scenario harness: it runs N concurrent
-// edge runtimes against ONE cloud server, each over its own (independently
-// shaped, optionally fault-injected) connection, and aggregates per-edge
+// edge runtimes against M cloud replicas, each edge over its own
+// (independently shaped, optionally fault-injected) connections — one per
+// replica, routed by edge.MultiClient when M > 1 — and aggregates per-edge
 // reports into fleet-level throughput, shed-rate and accounting totals.
 //
 // The harness is what the fleet-shedding experiment, the stress/soak tests
@@ -27,8 +28,14 @@ import (
 
 // Config describes one fleet run.
 type Config struct {
-	// Addr is the cloud server's address (required unless Dial is set).
+	// Addr is the cloud server's address (the single-replica shorthand).
 	Addr string
+	// Addrs are the cloud replica addresses for a multi-replica fleet; each
+	// edge dials every replica and routes offloads with edge.MultiClient.
+	// Set Addr or Addrs, not both. With DialReplica set, Addrs still
+	// provides the replica count and report labels (addresses need not be
+	// dialable then).
+	Addrs []string
 	// Edges is the number of concurrent edge runtimes (required, ≥ 1).
 	Edges int
 	// Batches is how many times each edge classifies Input (required, ≥ 1).
@@ -57,6 +64,14 @@ type Config struct {
 	// installed as the client's Redial, so a broken connection is replaced
 	// by another Dial(i) call.
 	Dial func(i int) (net.Conn, error)
+	// DialReplica is Dial for multi-replica runs: it dials edge i's
+	// connection to replica r (and serves as that connection's Redial). It
+	// requires Addrs for the replica count; set it or Dial, not both.
+	DialReplica func(i, r int) (net.Conn, error)
+	// Multi tunes each edge's replica router (multi-replica runs only). The
+	// per-edge router seed is decorrelated across edges on top of Multi.Seed
+	// so the fleet's power-of-two choices don't sample in lockstep.
+	Multi edge.MultiConfig
 	// ClientConfig is the base TCP client configuration (per-edge Redial is
 	// installed on top).
 	ClientConfig edge.DialConfig
@@ -71,8 +86,17 @@ type Config struct {
 }
 
 func (c *Config) validate() error {
-	if c.Addr == "" && c.Dial == nil {
+	if c.Addr == "" && len(c.Addrs) == 0 && c.Dial == nil {
 		return errors.New("fleet: no server address and no dialer")
+	}
+	if c.Addr != "" && len(c.Addrs) > 0 {
+		return errors.New("fleet: set Addr or Addrs, not both")
+	}
+	if c.Dial != nil && c.DialReplica != nil {
+		return errors.New("fleet: set Dial or DialReplica, not both")
+	}
+	if c.DialReplica != nil && len(c.Addrs) == 0 {
+		return errors.New("fleet: DialReplica needs Addrs for the replica count")
 	}
 	if c.Edges < 1 {
 		return fmt.Errorf("fleet: %d edges, want ≥ 1", c.Edges)
@@ -92,12 +116,28 @@ func (c *Config) validate() error {
 	return nil
 }
 
-// dialer resolves the per-edge dial function.
-func (c *Config) dialer(i int) func() (net.Conn, error) {
+// replicaCount resolves how many cloud replicas each edge connects to.
+func (c *Config) replicaCount() int {
+	if len(c.Addrs) > 0 {
+		return len(c.Addrs)
+	}
+	return 1
+}
+
+// dialer resolves edge i's dial function for replica r. All of an edge's
+// replica connections share the edge's link shaping — the uplink is the
+// edge's bottleneck, not the replicas'.
+func (c *Config) dialer(i, r int) func() (net.Conn, error) {
+	if c.DialReplica != nil {
+		return func() (net.Conn, error) { return c.DialReplica(i, r) }
+	}
 	if c.Dial != nil {
 		return func() (net.Conn, error) { return c.Dial(i) }
 	}
 	addr := c.Addr
+	if len(c.Addrs) > 0 {
+		addr = c.Addrs[r]
+	}
 	var link netsim.Link
 	if c.Link != nil {
 		link = c.Link(i)
@@ -126,10 +166,24 @@ type EdgeResult struct {
 	WireSheds uint64
 }
 
+// ReplicaTotals is one replica's fleet-wide routing accounting: the sums of
+// the edge-side per-replica counters (edge.ReplicaStats) across all edges.
+type ReplicaTotals struct {
+	Addr      string
+	Offloads  uint64
+	Sheds     uint64
+	Failures  uint64
+	BytesSent uint64
+}
+
 // Result aggregates a fleet run.
 type Result struct {
 	Edges   []EdgeResult
 	Elapsed time.Duration
+
+	// Replicas aggregates per-replica routing accounting across all edges
+	// (multi-replica runs only; nil for single-replica fleets).
+	Replicas []ReplicaTotals
 
 	// Instances is the fleet-wide classified total; ImagesPerSec is
 	// Instances over the wall-clock of the whole run (all edges truly
@@ -223,6 +277,15 @@ func Run(cfg Config) (*Result, error) {
 		res.ShedEvents += rep.ShedEvents
 		res.CloudFailures += rep.CloudFailures
 		res.Correct += results[i].Correct
+		for r, st := range rep.Replicas {
+			if r >= len(res.Replicas) {
+				res.Replicas = append(res.Replicas, ReplicaTotals{Addr: st.Addr})
+			}
+			res.Replicas[r].Offloads += st.Offloads
+			res.Replicas[r].Sheds += st.Sheds
+			res.Replicas[r].Failures += st.Failures
+			res.Replicas[r].BytesSent += st.BytesSent
+		}
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.ImagesPerSec = float64(res.Instances) / secs
@@ -230,16 +293,43 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// runEdge is one edge's whole life: dial, classify Batches times, report.
+// runEdge is one edge's whole life: dial every replica, classify Batches
+// times, report. With one replica the client is the plain TCPClient; with
+// several, the per-replica clients are wrapped in an edge.MultiClient.
 func runEdge(cfg *Config, i int) (EdgeResult, error) {
-	dial := cfg.dialer(i)
-	conn, err := dial()
-	if err != nil {
-		return EdgeResult{}, fmt.Errorf("dial: %w", err)
+	nrep := cfg.replicaCount()
+	clients := make([]edge.CloudClient, 0, nrep)
+	closeAll := func() {
+		for _, c := range clients {
+			c.Close()
+		}
 	}
-	ccfg := cfg.ClientConfig
-	ccfg.Redial = dial
-	client := edge.NewClientOnConn(conn, ccfg)
+	for r := 0; r < nrep; r++ {
+		dial := cfg.dialer(i, r)
+		conn, err := dial()
+		if err != nil {
+			closeAll()
+			return EdgeResult{}, fmt.Errorf("dial replica %d: %w", r, err)
+		}
+		ccfg := cfg.ClientConfig
+		ccfg.Redial = dial
+		clients = append(clients, edge.NewClientOnConn(conn, ccfg))
+	}
+	var client edge.CloudClient
+	if nrep == 1 {
+		client = clients[0]
+	} else {
+		mcfg := cfg.Multi
+		// Decorrelate the edges' routers: same scenario, independent
+		// tie-breaks, so p2c does not sample in fleet-wide lockstep.
+		mcfg.Seed += int64(i) * 7919
+		mc, err := edge.NewMultiClient(clients, cfg.Addrs, mcfg)
+		if err != nil {
+			closeAll()
+			return EdgeResult{}, err
+		}
+		client = mc
+	}
 	defer client.Close()
 
 	rt, err := edge.NewRuntime(cfg.Net, cfg.Policy, client, cfg.Cost)
@@ -269,13 +359,20 @@ func runEdge(cfg *Config, i int) (EdgeResult, error) {
 			}
 		}
 	}
-	return EdgeResult{
-		Index:     i,
-		Report:    rt.Report(),
-		Correct:   correct,
-		WireBytes: client.BytesSent(),
-		WireSheds: client.Sheds(),
-	}, nil
+	res := EdgeResult{
+		Index:   i,
+		Report:  rt.Report(),
+		Correct: correct,
+	}
+	// Both the TCPClient and the MultiClient expose the wire counters; the
+	// asserts keep the harness working for any other CloudClient too.
+	if bc, ok := client.(interface{ BytesSent() uint64 }); ok {
+		res.WireBytes = bc.BytesSent()
+	}
+	if sc, ok := client.(interface{ Sheds() uint64 }); ok {
+		res.WireSheds = sc.Sheds()
+	}
+	return res, nil
 }
 
 // SlowModel wraps a cloud model with a serialized fixed delay per forward

@@ -109,6 +109,7 @@ func TestFleetSoakSheddingFlakyLinks(t *testing.T) {
 	if testing.Short() {
 		edges, batches = 6, 10
 	}
+	batches *= soakScale()
 	// Flaky links: every connection carries a byte budget and then dies
 	// abruptly (mid-frame for the small budgets); the per-edge dial counter
 	// cycles the budgets so redials land on different failure points. One
