@@ -1,0 +1,93 @@
+// Package analysis is a self-contained miniature of the golang.org/x/tools
+// go/analysis framework: an Analyzer runs over one type-checked package and
+// reports position-anchored diagnostics. The module vendors no third-party
+// code, so the real framework is unavailable; this package mirrors its API
+// shape (Analyzer, Pass, Diagnostic) closely enough that migrating the
+// meanet-vet analyzers onto x/tools later is a mechanical import swap.
+//
+// The suite's analyzers live in the subpackages (lockguard, sentinelcmp,
+// framewrite, seededrand); cmd/meanet-vet drives them over the module, both
+// standalone and as a `go vet -vettool` unitchecker.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check: a name, what it enforces, and a Run function
+// invoked once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be a
+	// valid Go identifier.
+	Name string
+	// Doc is the help text: the first line is the summary.
+	Doc string
+	// Run executes the check over one package, reporting findings through
+	// pass.Report. A non-nil error aborts the whole analysis (reserved for
+	// internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and type information to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Analyzer names the check that produced the finding (filled by Run).
+	Analyzer string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// NewInfo allocates a types.Info with every map an analyzer consumes.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// Run executes the analyzers over one type-checked package and returns the
+// collected diagnostics sorted by position.
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d Diagnostic) {
+				d.Analyzer = a.Name
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path(), err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

@@ -1,0 +1,248 @@
+// Package analysistest runs an analyzer over fixture packages and checks its
+// diagnostics against `// want "regexp"` comments — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, reimplemented on the stdlib so
+// the module stays dependency-free.
+//
+// Fixtures live under <testdata>/src/<pkgpath>/*.go. A fixture file marks
+// each line where a diagnostic is expected:
+//
+//	err == ErrShed // want "use errors.Is"
+//
+// The quoted pattern is a regular expression matched against the diagnostic
+// message; several patterns on one line expect several diagnostics. Every
+// diagnostic must be wanted and every want must fire, or the test fails.
+// Fixture packages may import other fixture packages (resolved under
+// <testdata>/src) and anything resolvable by `go list` (the stdlib).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/meanet/meanet/internal/analysis"
+)
+
+// TestData returns the caller's testdata directory.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: cannot locate caller for testdata")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+// Run analyzes each fixture package under testdata/src and verifies the
+// diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := &loader{
+		testdata: testdata,
+		fset:     token.NewFileSet(),
+		pkgs:     make(map[string]*fixturePkg),
+	}
+	for _, path := range pkgpaths {
+		fp, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := analysis.Run([]*analysis.Analyzer{a}, l.fset, fp.files, fp.pkg, fp.info)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		check(t, l.fset, fp.files, diags)
+	}
+}
+
+// fixturePkg is one type-checked fixture package.
+type fixturePkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader resolves fixture packages (testdata-local imports first, `go list`
+// export data for everything else).
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	pkgs     map[string]*fixturePkg
+	loading  []string // import stack, for cycle reporting
+}
+
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if fp, ok := l.pkgs[path]; ok {
+		return fp, nil
+	}
+	for _, p := range l.loading {
+		if p == path {
+			return nil, fmt.Errorf("fixture import cycle: %v -> %s", l.loading, path)
+		}
+	}
+	l.loading = append(l.loading, path)
+	defer func() { l.loading = l.loading[:len(l.loading)-1] }()
+
+	dir := filepath.Join(l.testdata, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: (*fixtureImporter)(l)}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	fp := &fixturePkg{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = fp
+	return fp, nil
+}
+
+// fixtureImporter adapts the loader to types.Importer: a path with a fixture
+// directory is loaded locally, anything else resolves through export data.
+type fixtureImporter loader
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	l := (*loader)(im)
+	if st, err := os.Stat(filepath.Join(l.testdata, "src", filepath.FromSlash(path))); err == nil && st.IsDir() {
+		fp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	exports, err := analysis.GoListExports(".", path)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.ExportImporter(l.fset, func(p string) (io.ReadCloser, error) {
+		return analysis.OpenExport(exports, p)
+	}).Import(path)
+}
+
+// want is one expected diagnostic.
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts the want expectations of a file, keyed by line.
+func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+			for _, lit := range splitQuoted(m[1]) {
+				pattern, err := strconv.Unquote(lit)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %s: %v", key, lit, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", key, pattern, err)
+				}
+				wants[key] = append(wants[key], &want{re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted returns the leading sequence of Go string literals in s
+// (double- or back-quoted), e.g. `"a" "b" trailing` -> ["a" "b"].
+func splitQuoted(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			break
+		}
+		i := strings.IndexByte(s[1:], quote)
+		for quote == '"' && i >= 0 && s[i] == '\\' { // skip escaped quotes
+			j := strings.IndexByte(s[i+2:], quote)
+			if j < 0 {
+				i = -1
+				break
+			}
+			i += j + 1
+		}
+		if i < 0 {
+			break
+		}
+		out = append(out, s[:i+2])
+		s = strings.TrimSpace(s[i+2:])
+	}
+	return out
+}
+
+// check compares diagnostics against the fixtures' want comments.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, f := range files {
+		for k, v := range parseWants(t, fset, f) {
+			wants[k] = v
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.re)
+			}
+		}
+	}
+}

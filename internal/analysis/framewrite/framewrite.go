@@ -1,0 +1,192 @@
+// Package framewrite protects the single-Write frame invariant.
+//
+// protocol.WriteFrame assembles header and payload and hands the kernel ONE
+// Write call (protocol.go), so concurrent writers never interleave partial
+// frames on a shared connection. Any raw conn.Write (or a bufio.Writer,
+// io.Copy, fmt.Fprintf aimed at a conn) in the serving packages
+// (internal/edge, internal/cloud) can split a frame and corrupt the stream
+// for every in-flight request. Those packages must route all connection
+// writes through protocol.WriteFrame; a helper that legitimately owns the
+// write path (holding the connection's write mutex) opts out by carrying a
+// `meanet:frame-writer` marker in its doc comment.
+package framewrite
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/meanet/meanet/internal/analysis"
+)
+
+// Analyzer is the framewrite check.
+var Analyzer = &analysis.Analyzer{
+	Name: "framewrite",
+	Doc:  "check that edge/cloud write frames only through protocol.WriteFrame",
+	Run:  run,
+}
+
+// Marker is the doc-comment opt-out for designated frame-writing helpers.
+const Marker = "meanet:frame-writer"
+
+// writeMethods are the direct writing methods flagged on a conn or
+// buffered writer receiver.
+var writeMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"ReadFrom":    true,
+}
+
+// writerFuncs are package functions whose first (or indicated) argument is
+// the destination writer.
+var writerFuncs = map[string]int{ // qualified name -> writer arg index
+	"io.Copy":       0,
+	"io.CopyN":      0,
+	"io.CopyBuffer": 0,
+	"fmt.Fprint":    0,
+	"fmt.Fprintf":   0,
+	"fmt.Fprintln":  0,
+}
+
+// InScope reports whether a package path is one of the serving packages the
+// invariant covers.
+func InScope(path string) bool {
+	for _, s := range []string{"edge", "cloud"} {
+		if path == s {
+			return true
+		}
+		if n := len(path) - len(s); n > 0 && path[n-1] == '/' && path[n:] == s {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !InScope(pass.Pkg.Path()) {
+		return nil
+	}
+	conn := connInterface(pass.Pkg)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fn.Doc != nil && strings.Contains(fn.Doc.Text(), Marker) {
+				continue
+			}
+			checkFunc(pass, fn, conn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, conn *types.Interface) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// io.Copy / fmt.Fprintf with a conn destination.
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+				qual := pn.Imported().Name() + "." + sel.Sel.Name
+				if argIdx, ok := writerFuncs[qual]; ok && argIdx < len(call.Args) {
+					if kind := writerKind(pass, call.Args[argIdx], conn); kind != "" {
+						pass.Reportf(sel.Pos(), "%s writes to a %s outside protocol.WriteFrame; frames must reach the kernel in one Write (mark designated helpers %s)", qual, kind, Marker)
+					}
+				}
+				return true
+			}
+		}
+		// Direct conn.Write / bufio writer methods.
+		if !writeMethods[sel.Sel.Name] {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.MethodVal {
+			return true
+		}
+		if kind := typeKind(s.Recv(), conn); kind != "" {
+			pass.Reportf(sel.Pos(), "raw %s.%s on a %s outside protocol.WriteFrame; frames must reach the kernel in one Write (mark designated helpers %s)", render(sel.X), sel.Sel.Name, kind, Marker)
+		}
+		return true
+	})
+}
+
+// writerKind classifies the destination argument of an io/fmt writer call.
+func writerKind(pass *analysis.Pass, arg ast.Expr, conn *types.Interface) string {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(arg)]
+	if !ok {
+		return ""
+	}
+	return typeKind(tv.Type, conn)
+}
+
+// typeKind reports "net.Conn" / "bufio.Writer" when t is one of the guarded
+// writer types, or "" otherwise.
+func typeKind(t types.Type, conn *types.Interface) string {
+	if conn != nil && (types.Implements(t, conn) || types.Implements(types.NewPointer(t), conn)) {
+		return "net.Conn"
+	}
+	u := t
+	if p, ok := u.Underlying().(*types.Pointer); ok {
+		u = p.Elem()
+	}
+	if n, ok := u.(*types.Named); ok {
+		if obj := n.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "bufio" && obj.Name() == "Writer" {
+			return "bufio.Writer"
+		}
+	}
+	return ""
+}
+
+// connInterface locates the net.Conn interface type through the package's
+// import graph (nil when net is not in the graph — then no conn-typed value
+// can exist in the package either).
+func connInterface(pkg *types.Package) *types.Interface {
+	seen := make(map[*types.Package]bool)
+	var find func(p *types.Package) *types.Interface
+	find = func(p *types.Package) *types.Interface {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if p.Path() == "net" {
+			if obj, ok := p.Scope().Lookup("Conn").(*types.TypeName); ok {
+				if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+					return iface
+				}
+			}
+			return nil
+		}
+		for _, imp := range p.Imports() {
+			if iface := find(imp); iface != nil {
+				return iface
+			}
+		}
+		return nil
+	}
+	return find(pkg)
+}
+
+func render(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return render(e.X)
+	case *ast.CallExpr:
+		return render(e.Fun) + "()"
+	}
+	return "conn"
+}

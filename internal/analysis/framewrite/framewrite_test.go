@@ -1,0 +1,12 @@
+package framewrite_test
+
+import (
+	"testing"
+
+	"github.com/meanet/meanet/internal/analysis/analysistest"
+	"github.com/meanet/meanet/internal/analysis/framewrite"
+)
+
+func TestFramewrite(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), framewrite.Analyzer, "edge", "other")
+}

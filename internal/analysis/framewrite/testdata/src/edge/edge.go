@@ -1,0 +1,41 @@
+// Package edge exercises framewrite inside a covered serving package.
+package edge
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+)
+
+func bad(c net.Conn, frame []byte) {
+	c.Write(frame) // want `raw c\.Write on a net\.Conn`
+}
+
+func badBuffered(c net.Conn, frame []byte) {
+	w := bufio.NewWriter(c)
+	w.Write(frame)     // want `raw w\.Write on a bufio\.Writer`
+	w.WriteString("x") // want `raw w\.WriteString on a bufio\.Writer`
+	w.Flush()
+}
+
+func badIndirect(c net.Conn, r io.Reader) {
+	io.Copy(c, r)               // want `io\.Copy writes to a net\.Conn`
+	fmt.Fprintf(c, "len=%d", 9) // want `fmt\.Fprintf writes to a net\.Conn`
+}
+
+// send is this connection's designated writer: it owns the write mutex for
+// the duration of the frame, so the single-Write invariant holds.
+//
+// meanet:frame-writer
+func send(c net.Conn, frame []byte) {
+	c.Write(frame)
+}
+
+func reads(c net.Conn, buf []byte) {
+	c.Read(buf) // reads are out of scope
+}
+
+func otherWriters(w io.Writer, frame []byte) {
+	w.Write(frame) // an io.Writer is not necessarily a conn
+}

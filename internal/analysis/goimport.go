@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// ExportImporter builds a types.Importer that resolves imports from compiler
+// export data ("gc" format). resolve maps an import path (as written in the
+// source) to an open reader of that package's export data; returning an error
+// fails the type check of the importing package. The "unsafe" package is
+// handled by the underlying gc importer itself.
+func ExportImporter(fset *token.FileSet, resolve func(path string) (io.ReadCloser, error)) types.Importer {
+	return importer.ForCompiler(fset, "gc", resolve)
+}
+
+// listedPackage is the slice of `go list -json` output the loaders consume.
+type listedPackage struct {
+	ImportPath string
+	Export     string
+}
+
+// exportCache memoizes `go list -export` lookups across a process: the
+// analysistest fixtures of four analyzers would otherwise re-resolve the same
+// handful of stdlib packages once per test.
+var exportCache struct {
+	sync.Mutex
+	m map[string]string // import path -> export data file
+}
+
+// GoListExports resolves import paths to compiler export data files by
+// shelling out to `go list -deps -export`, from dir (the module root, or any
+// directory for stdlib paths). Results are cached process-wide. The returned
+// map covers the requested paths AND their dependencies.
+func GoListExports(dir string, paths ...string) (map[string]string, error) {
+	exportCache.Lock()
+	defer exportCache.Unlock()
+	if exportCache.m == nil {
+		exportCache.m = make(map[string]string)
+	}
+	var missing []string
+	for _, p := range paths {
+		if _, ok := exportCache.m[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, missing...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = dir
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %v: %v\n%s", missing, err, stderr.Bytes())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listedPackage
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, fmt.Errorf("go list -export: decoding output: %v", err)
+			}
+			if p.Export != "" {
+				exportCache.m[p.ImportPath] = p.Export
+			}
+		}
+	}
+	out := make(map[string]string, len(exportCache.m))
+	for k, v := range exportCache.m {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// OpenExport opens the export data file recorded for path in exports,
+// erroring with the import path when it is unknown.
+func OpenExport(exports map[string]string, path string) (io.ReadCloser, error) {
+	f, ok := exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for import %q", path)
+	}
+	return os.Open(f)
+}

@@ -1,0 +1,742 @@
+// Package lockguard machine-checks the codebase's mutex annotations: a
+// struct field documented as `guarded by <mu>` (on the field) or listed in a
+// `guards <a>, <b>` comment (on the mutex) may only be accessed in functions
+// of the same package while that mutex is held.
+//
+// The check is lexical within one function body: a path-matching
+// `<base>.<mu>.Lock()` call puts the mutex in the held set, `Unlock` removes
+// it, and `defer <base>.<mu>.Unlock()` keeps it held to the end. Branches are
+// merged conservatively (held only if held on every non-terminating path).
+// Three idioms are recognized as safe without a visible Lock:
+//
+//   - constructor bodies: accesses through a local variable initialized from
+//     a composite literal in the same function (the value has not escaped to
+//     other goroutines yet);
+//   - caller-locked helpers: a function whose doc comment says
+//     `... holds <recv>.<mu> ...` (e.g. "The caller holds c.mu.") starts with
+//     that mutex held — and may still Unlock/re-Lock it mid-body;
+//   - `...Locked` name suffix: starts with every mutex of the receiver held.
+//
+// For sync.RWMutex, RLock admits reads; writes demand the write lock.
+//
+// This is the machine-checked version of the invariant whose violation was
+// the PR 2 policy-read race (edge.Runtime.Classify read r.policy while
+// SetThreshold mutated it): the comment `guarded by mu` is now a contract,
+// not a wish.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/meanet/meanet/internal/analysis"
+)
+
+// Analyzer is the lockguard check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "check that fields annotated 'guarded by <mu>' are only accessed with the mutex held",
+	Run:  run,
+}
+
+// guard ties one annotated field to its mutex sibling.
+type guard struct {
+	fieldName string
+	mu        *types.Var // the mutex field object
+	muName    string
+	rw        bool // mutex is a sync.RWMutex
+}
+
+var (
+	guardedByRe   = regexp.MustCompile(`guarded by ([A-Za-z_]\w*)`)
+	guardsRe      = regexp.MustCompile(`\bguards ([A-Za-z_]\w*(?:\s*,\s*[A-Za-z_]\w*)*)`)
+	callerHoldsRe = regexp.MustCompile(`holds (?:([A-Za-z_]\w*)\.)?([A-Za-z_]\w*)`)
+)
+
+// isMutex reports whether t (after pointer deref) is sync.Mutex or
+// sync.RWMutex, and which.
+func isMutex(t types.Type) (mutex, rw bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false, false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return true, false
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// commentText joins a field's doc and line comments.
+func commentText(f *ast.Field) string {
+	var parts []string
+	if f.Doc != nil {
+		parts = append(parts, f.Doc.Text())
+	}
+	if f.Comment != nil {
+		parts = append(parts, f.Comment.Text())
+	}
+	return strings.Join(parts, " ")
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collect(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, guards)
+		}
+	}
+	return nil
+}
+
+// collect walks the package's struct declarations and builds the guarded
+// field map, reporting malformed annotations as it goes.
+func collect(pass *analysis.Pass) map[*types.Var]*guard {
+	guards := make(map[*types.Var]*guard)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			collectStruct(pass, st, guards)
+			return true
+		})
+	}
+	return guards
+}
+
+func collectStruct(pass *analysis.Pass, st *ast.StructType, guards map[*types.Var]*guard) {
+	// Index the siblings: name -> field object, and the mutex fields.
+	fields := make(map[string]*types.Var)
+	type mutexField struct {
+		v  *types.Var
+		rw bool
+	}
+	mutexes := make(map[string]mutexField)
+	for _, f := range st.Fields.List {
+		for _, name := range f.Names {
+			v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			fields[name.Name] = v
+			if m, rw := isMutex(v.Type()); m {
+				mutexes[name.Name] = mutexField{v: v, rw: rw}
+			}
+		}
+	}
+	bind := func(pos token.Pos, fieldName, muName string) {
+		mu, ok := mutexes[muName]
+		if !ok {
+			pass.Reportf(pos, "annotation names %q as the guard of %q, but it is not a sync.Mutex/RWMutex field of this struct", muName, fieldName)
+			return
+		}
+		fv, ok := fields[fieldName]
+		if !ok {
+			pass.Reportf(pos, "'guards' annotation on %q names %q, which is not a field of this struct", muName, fieldName)
+			return
+		}
+		guards[fv] = &guard{fieldName: fieldName, mu: mu.v, muName: muName, rw: mu.rw}
+	}
+	for _, f := range st.Fields.List {
+		text := commentText(f)
+		if text == "" || len(f.Names) == 0 {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(text); m != nil {
+			for _, name := range f.Names {
+				bind(f.Pos(), name.Name, m[1])
+			}
+		}
+		if m := guardsRe.FindStringSubmatch(text); m != nil {
+			if _, ok := mutexes[f.Names[0].Name]; ok {
+				for _, fieldName := range strings.Split(m[1], ",") {
+					bind(f.Pos(), strings.TrimSpace(fieldName), f.Names[0].Name)
+				}
+			}
+		}
+	}
+}
+
+// lockState is the set of held mutexes, keyed by rendered path
+// (e.g. "c.mu"); the value records whether the hold is read-only.
+type lockState map[string]bool
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// merge keeps only mutexes held on both paths, degrading to a read hold if
+// either side holds it read-only.
+func merge(a, b lockState) lockState {
+	out := make(lockState)
+	for k, ra := range a {
+		if rb, ok := b[k]; ok {
+			out[k] = ra || rb
+		}
+	}
+	return out
+}
+
+// checker carries one function's analysis state.
+type checker struct {
+	pass   *analysis.Pass
+	guards map[*types.Var]*guard
+	fresh  map[types.Object]bool // composite-literal locals (constructor values)
+	mute   bool                  // suppress reports (loop fixpoint pre-passes)
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, guards map[*types.Var]*guard) {
+	c := &checker{pass: pass, guards: guards, fresh: make(map[types.Object]bool)}
+	// Constructor exemption: locals initialized from composite literals.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			if !isCompositeLit(rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := c.objOf(id); obj != nil {
+					c.fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	c.block(fn.Body.List, entryState(pass, fn, guards))
+}
+
+// entryState seeds the held set from the function's annotations: a doc
+// comment matching `holds <recv>.<mu>` or a `...Locked` name suffix.
+func entryState(pass *analysis.Pass, fn *ast.FuncDecl, guards map[*types.Var]*guard) lockState {
+	state := make(lockState)
+	recv := ""
+	var recvType types.Type
+	if fn.Recv != nil && len(fn.Recv.List) == 1 && len(fn.Recv.List[0].Names) == 1 {
+		recv = fn.Recv.List[0].Names[0].Name
+		if tv, ok := pass.TypesInfo.Defs[fn.Recv.List[0].Names[0]]; ok && tv != nil {
+			recvType = tv.Type()
+		}
+	}
+	if fn.Doc != nil {
+		for _, m := range callerHoldsRe.FindAllStringSubmatch(fn.Doc.Text(), -1) {
+			base := m[1]
+			if base == "" {
+				base = recv
+			}
+			if base != "" {
+				state[base+"."+m[2]] = false
+			}
+		}
+	}
+	if strings.HasSuffix(fn.Name.Name, "Locked") && recv != "" && recvType != nil {
+		st := structOf(recvType)
+		for _, g := range guards {
+			if st != nil && g.mu.Pkg() == pass.Pkg && fieldOf(st, g.muName) == g.mu {
+				state[recv+"."+g.muName] = false
+			}
+		}
+	}
+	return state
+}
+
+func structOf(t types.Type) *types.Struct {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+func fieldOf(st *types.Struct, name string) *types.Var {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return st.Field(i)
+		}
+	}
+	return nil
+}
+
+func isCompositeLit(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := e.X.(*ast.CompositeLit)
+		return e.Op == token.AND && ok
+	}
+	return false
+}
+
+func (c *checker) objOf(id *ast.Ident) types.Object {
+	if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return c.pass.TypesInfo.Uses[id]
+}
+
+// render flattens an expression into a lock-state path ("c", "s.inner").
+// Unrenderable expressions return "?", which never matches a held key.
+func render(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return render(e.X)
+	case *ast.StarExpr:
+		return render(e.X)
+	}
+	return "?"
+}
+
+// block runs the state machine over a statement list, returning the end
+// state and whether the list definitely terminates (return/panic).
+func (c *checker) block(stmts []ast.Stmt, state lockState) (lockState, bool) {
+	state = state.clone()
+	for _, s := range stmts {
+		var term bool
+		state, term = c.stmt(s, state)
+		if term {
+			return state, true
+		}
+	}
+	return state, false
+}
+
+// stmt processes one statement: scan its expressions for guarded accesses
+// and lock transitions, recursing into nested blocks with branch merging.
+func (c *checker) stmt(s ast.Stmt, state lockState) (lockState, bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		end, term := c.block(s.List, state)
+		if term {
+			return state, true
+		}
+		return end, false
+	case *ast.IfStmt:
+		if s.Init != nil {
+			state, _ = c.stmt(s.Init, state)
+		}
+		c.scan(s.Cond, state)
+		thenEnd, thenTerm := c.block(s.Body.List, state)
+		elseEnd, elseTerm := state, false
+		if s.Else != nil {
+			elseEnd, elseTerm = c.stmt(s.Else, state)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return state, true
+		case thenTerm:
+			return elseEnd, false
+		case elseTerm:
+			return thenEnd, false
+		default:
+			return merge(thenEnd, elseEnd), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			state, _ = c.stmt(s.Init, state)
+		}
+		entry := c.loopEntry(state, func(e lockState) lockState {
+			bodyEnd, _ := c.block(s.Body.List, e)
+			if s.Post != nil {
+				bodyEnd, _ = c.stmt(s.Post, bodyEnd)
+			}
+			return bodyEnd
+		})
+		if s.Cond != nil {
+			c.scan(s.Cond, entry)
+		}
+		bodyEnd, _ := c.block(s.Body.List, entry)
+		if s.Post != nil {
+			bodyEnd, _ = c.stmt(s.Post, bodyEnd)
+		}
+		// The loop may run zero times and `break` can exit mid-body, so only
+		// mutexes held on every path survive.
+		return merge(state, bodyEnd), false
+	case *ast.RangeStmt:
+		c.scan(s.X, state)
+		entry := c.loopEntry(state, func(e lockState) lockState {
+			bodyEnd, _ := c.block(s.Body.List, e)
+			return bodyEnd
+		})
+		bodyEnd, _ := c.block(s.Body.List, entry)
+		return merge(state, bodyEnd), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.branching(s, state)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the mutex held to function end; any other
+		// deferred call is scanned for accesses under the current state.
+		if path, op := lockOp(&ast.ExprStmt{X: s.Call}); op == opUnlock || op == opRUnlock {
+			_ = path
+			return state, false
+		}
+		c.scan(s.Call, state)
+		return state, false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.scan(r, state)
+		}
+		return state, true
+	case *ast.ExprStmt:
+		if path, op := lockOp(s); op != opNone {
+			if c.isTrackedMutex(s) {
+				switch op {
+				case opLock:
+					state = state.clone()
+					state[path] = false
+				case opRLock:
+					state = state.clone()
+					state[path] = true
+				case opUnlock, opRUnlock:
+					state = state.clone()
+					delete(state, path)
+				}
+				return state, isPanicOrExit(s.X)
+			}
+		}
+		c.scan(s.X, state)
+		return state, isPanicOrExit(s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.scan(e, state)
+		}
+		for _, e := range s.Lhs {
+			c.scanWrite(e, state)
+		}
+		return state, false
+	case *ast.IncDecStmt:
+		c.scanWrite(s.X, state)
+		return state, false
+	case *ast.GoStmt:
+		// The spawned goroutine runs later, without this function's locks:
+		// its body is checked separately with an empty held set; the call's
+		// ARGUMENTS are evaluated now, under the current state.
+		for _, arg := range s.Call.Args {
+			c.scan(arg, state)
+		}
+		c.scanFuncLits(s.Call.Fun)
+		return state, false
+	case *ast.SendStmt:
+		c.scan(s.Chan, state)
+		c.scan(s.Value, state)
+		return state, false
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, state)
+	case *ast.DeclStmt:
+		c.scan(s, state)
+		return state, false
+	case *ast.BranchStmt:
+		return state, false
+	case *ast.EmptyStmt:
+		return state, false
+	default:
+		c.scan(s, state)
+		return state, false
+	}
+}
+
+// loopEntry computes the lock state at a loop's top as a fixpoint: the
+// first iteration enters with state, later ones with the previous body-end
+// state merged in. Pre-passes run muted; the caller then re-analyzes the
+// body once with the fixpoint entry to report.
+func (c *checker) loopEntry(state lockState, body func(lockState) lockState) lockState {
+	entry := state
+	prevMute := c.mute
+	c.mute = true
+	for {
+		next := merge(state, body(entry))
+		if stateEqual(next, entry) {
+			break
+		}
+		entry = next
+	}
+	c.mute = prevMute
+	return entry
+}
+
+func stateEqual(a, b lockState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// branching handles switch/type-switch/select: each clause runs from the
+// entry state; the result merges every non-terminating clause (plus the
+// entry state when no clause need run).
+func (c *checker) branching(s ast.Stmt, state lockState) (lockState, bool) {
+	var clauses []ast.Stmt
+	hasDefault := false
+	exhaustive := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			state, _ = c.stmt(s.Init, state)
+		}
+		if s.Tag != nil {
+			c.scan(s.Tag, state)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			state, _ = c.stmt(s.Init, state)
+		}
+		c.scan(s.Assign, state)
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+		exhaustive = true // a select blocks until one clause runs
+	}
+	var ends []lockState
+	for _, cl := range clauses {
+		var body []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.scan(e, state)
+			}
+			if cl.List == nil {
+				hasDefault = true
+			}
+			body = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				state2, _ := c.stmt(cl.Comm, state)
+				end, term := c.block(cl.Body, state2)
+				if !term {
+					ends = append(ends, end)
+				}
+				continue
+			}
+			hasDefault = true
+			body = cl.Body
+		}
+		end, term := c.block(body, state)
+		if !term {
+			ends = append(ends, end)
+		}
+	}
+	if !hasDefault && !exhaustive {
+		ends = append(ends, state)
+	}
+	if len(ends) == 0 {
+		return state, true
+	}
+	out := ends[0]
+	for _, e := range ends[1:] {
+		out = merge(out, e)
+	}
+	return out, false
+}
+
+// lockOps
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+// lockOp recognizes `<path>.Lock()` / `Unlock` / `RLock` / `RUnlock`
+// statements and returns the mutex path.
+func lockOp(s *ast.ExprStmt) (string, lockOpKind) {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", opNone
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	var op lockOpKind
+	switch sel.Sel.Name {
+	case "Lock":
+		op = opLock
+	case "RLock":
+		op = opRLock
+	case "Unlock":
+		op = opUnlock
+	case "RUnlock":
+		op = opRUnlock
+	default:
+		return "", opNone
+	}
+	return render(sel.X), op
+}
+
+// isTrackedMutex confirms the receiver of a lock-op statement really is a
+// sync mutex (so an unrelated type's Lock method is not misread).
+func (c *checker) isTrackedMutex(s *ast.ExprStmt) bool {
+	call := s.X.(*ast.CallExpr)
+	sel := call.Fun.(*ast.SelectorExpr)
+	if tv, ok := c.pass.TypesInfo.Types[sel.X]; ok {
+		m, _ := isMutex(tv.Type)
+		return m
+	}
+	return false
+}
+
+func isPanicOrExit(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		return render(fun) == "os.Exit"
+	}
+	return false
+}
+
+// scan inspects an expression subtree for reads of guarded fields.
+func (c *checker) scan(n ast.Node, state lockState) {
+	c.inspect(n, state, false)
+}
+
+// scanWrite inspects an assignment target: the outermost selector is a
+// write (demands the exclusive lock); nested selectors are reads.
+func (c *checker) scanWrite(e ast.Expr, state lockState) {
+	if se, ok := unwrap(e).(*ast.SelectorExpr); ok {
+		c.checkAccess(se, state, true)
+		c.inspect(se.X, state, false)
+		return
+	}
+	// Index/star targets: the base selector (e.g. m.until in m.until[i]) is
+	// being written through.
+	switch t := unwrap(e).(type) {
+	case *ast.IndexExpr:
+		if se, ok := unwrap(t.X).(*ast.SelectorExpr); ok {
+			c.checkAccess(se, state, true)
+			c.inspect(se.X, state, false)
+			c.inspect(t.Index, state, false)
+			return
+		}
+	case *ast.StarExpr:
+		c.scanWrite(t.X, state)
+		return
+	}
+	c.inspect(e, state, false)
+}
+
+func unwrap(e ast.Expr) ast.Expr {
+	for {
+		if p, ok := e.(*ast.ParenExpr); ok {
+			e = p.X
+			continue
+		}
+		return e
+	}
+}
+
+// inspect is the shared walker: every SelectorExpr met is checked as a read
+// (writes are routed through scanWrite before descending); function literals
+// restart with an empty held set — they may run on another goroutine.
+func (c *checker) inspect(n ast.Node, state lockState, _ bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.block(n.Body.List, make(lockState))
+			return false
+		case *ast.SelectorExpr:
+			c.checkAccess(n, state, false)
+			return true
+		}
+		return true
+	})
+}
+
+// scanFuncLits checks only the function literals of a subtree (used for the
+// callee of a go statement).
+func (c *checker) scanFuncLits(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			c.block(fl.Body.List, make(lockState))
+			return false
+		}
+		return true
+	})
+}
+
+// checkAccess reports a guarded-field access made without its mutex.
+func (c *checker) checkAccess(se *ast.SelectorExpr, state lockState, write bool) {
+	sel, ok := c.pass.TypesInfo.Selections[se]
+	if !ok || sel.Kind() != types.FieldVal {
+		return
+	}
+	fv, ok := sel.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	g, ok := c.guards[fv]
+	if !ok || c.mute {
+		return
+	}
+	base := unwrap(se.X)
+	if id, ok := base.(*ast.Ident); ok {
+		if obj := c.objOf(id); obj != nil && c.fresh[obj] {
+			return // constructor: the value has not escaped yet
+		}
+	}
+	key := render(base) + "." + g.muName
+	readOnly, held := state[key]
+	if held && !(write && readOnly && g.rw) {
+		return
+	}
+	verb := "read"
+	if write {
+		verb = "written"
+	}
+	if held && readOnly {
+		c.pass.Reportf(se.Sel.Pos(), "%s.%s %s while holding only %s.RLock (field %s is guarded by %s and this is a write)",
+			render(base), g.fieldName, verb, key, g.fieldName, g.muName)
+		return
+	}
+	c.pass.Reportf(se.Sel.Pos(), "%s.%s %s without holding %s (field %s is guarded by %s)",
+		render(base), g.fieldName, verb, key, g.fieldName, g.muName)
+}

@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"github.com/meanet/meanet/internal/analysis/analysistest"
+	"github.com/meanet/meanet/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockguard.Analyzer, "lg")
+}

@@ -1,0 +1,15 @@
+package lg
+
+import "sync"
+
+// BadAnnot has a `guarded by` comment naming a non-mutex guard.
+type BadAnnot struct {
+	mu    sync.Mutex
+	ghost int // guarded by missing // want `annotation names "missing" as the guard of "ghost"`
+}
+
+// BadGuards has a `guards` list naming a field that does not exist.
+type BadGuards struct {
+	mu sync.Mutex // guards phantom // want `'guards' annotation on "mu" names "phantom", which is not a field of this struct`
+	n  int
+}

@@ -1,0 +1,164 @@
+// Package lg exercises the lockguard analyzer. Runtime mirrors the PR 2
+// policy-read race shape: edge.Runtime.Classify read r.policy while
+// SetThreshold mutated it under the lock.
+package lg
+
+import "sync"
+
+type Runtime struct {
+	mu     sync.Mutex
+	policy float64 // guarded by mu
+	n      int     // guarded by mu
+}
+
+// Bad is the PR 2 regression shape: a lock-free read of the policy field.
+func (r *Runtime) Bad() float64 {
+	return r.policy // want `r\.policy read without holding r\.mu`
+}
+
+func (r *Runtime) BadWrite(v float64) {
+	r.policy = v // want `r\.policy written without holding r\.mu`
+}
+
+func (r *Runtime) Good() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.policy
+}
+
+func (r *Runtime) GoodEarlyReturn() int {
+	r.mu.Lock()
+	if r.n > 0 {
+		n := r.n
+		r.mu.Unlock()
+		return n
+	}
+	r.mu.Unlock()
+	return 0
+}
+
+func (r *Runtime) BadAfterUnlock() int {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+	return r.n // want `r\.n read without holding r\.mu`
+}
+
+// bump assumes the caller holds r.mu.
+func (r *Runtime) bump() {
+	r.n++
+}
+
+// redial assumes the caller holds r.mu; the lock is released around the
+// slow part, mirroring edge.TCPClient.reconnectLocked.
+func (r *Runtime) redial() {
+	r.n++
+	r.mu.Unlock()
+	slow()
+	r.mu.Lock()
+	r.n++
+}
+
+func (r *Runtime) addLocked(d int) {
+	r.n += d
+}
+
+func (r *Runtime) BadHelper() {
+	r.bumpPlain() // calls are not accesses; the helper's own body is flagged
+}
+
+func (r *Runtime) bumpPlain() {
+	r.n++ // want `r\.n written without holding r\.mu`
+}
+
+// NewRuntime may touch guarded fields freely: the value has not escaped.
+func NewRuntime() *Runtime {
+	r := &Runtime{policy: 0.5}
+	r.n = 1
+	return r
+}
+
+func (r *Runtime) BadGoroutine() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	go func() {
+		r.n++ // want `r\.n written without holding r\.mu`
+	}()
+}
+
+func (r *Runtime) GoodSwitch(k int) int {
+	r.mu.Lock()
+	switch k {
+	case 0:
+		n := r.n
+		r.mu.Unlock()
+		return n
+	default:
+		r.mu.Unlock()
+		return 0
+	}
+}
+
+func (r *Runtime) GoodLoop() int {
+	total := 0
+	for i := 0; i < 3; i++ {
+		r.mu.Lock()
+		total += r.n
+		r.mu.Unlock()
+	}
+	return total
+}
+
+// GoodLoopCarry holds the lock at the top of every iteration (it is
+// released and retaken mid-body) — no findings.
+func (r *Runtime) GoodLoopCarry() {
+	r.mu.Lock()
+	for i := 0; i < 3; i++ {
+		r.n++
+		r.mu.Unlock()
+		slow()
+		r.mu.Lock()
+	}
+	r.mu.Unlock()
+}
+
+func (r *Runtime) BadLoop() {
+	for i := 0; i < 3; i++ {
+		r.mu.Lock()
+		slow()
+		r.mu.Unlock()
+		r.n++ // want `r\.n written without holding r\.mu`
+	}
+}
+
+func slow() {}
+
+// Stats exercises the RWMutex rules and the `guards a, b` mutex-side form.
+type Stats struct {
+	mu     sync.RWMutex // guards hits, misses
+	hits   int
+	misses int
+}
+
+func (s *Stats) Hits() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.hits
+}
+
+func (s *Stats) BadIncr() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.hits++ // want `s\.hits written while holding only s\.mu\.RLock`
+}
+
+func (s *Stats) GoodIncr() {
+	s.mu.Lock()
+	s.hits++
+	s.misses++
+	s.mu.Unlock()
+}
+
+func (s *Stats) BadRead() int {
+	return s.misses // want `s\.misses read without holding s\.mu`
+}

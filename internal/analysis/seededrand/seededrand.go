@@ -1,0 +1,88 @@
+// Package seededrand forbids the global math/rand functions in routing and
+// harness code.
+//
+// PR 6 made the multi-replica router reproducible by deriving a decorrelated
+// per-edge seed and threading an injected *rand.Rand through every decision
+// point. A single rand.Intn / rand.Float64 call re-introduces process-global
+// state: runs stop being replayable and fleet experiments stop being
+// comparable across machines. In the packages on that path (internal/edge,
+// internal/netsim and its subpackages, internal/experiments) randomness must
+// come from an injected *rand.Rand; constructing one (rand.New,
+// rand.NewSource, ...) remains legal.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/meanet/meanet/internal/analysis"
+)
+
+// Analyzer is the seededrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc:  "check that routing/harness packages use an injected *rand.Rand, not global math/rand functions",
+	Run:  run,
+}
+
+// scopes are the import-path suffixes the check applies to.
+var scopes = []string{"edge", "netsim", "fleet", "experiments"}
+
+// constructors are the math/rand package functions that build a generator
+// rather than draw from the global one.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// InScope reports whether a package path is on the reproducibility path.
+func InScope(path string) bool {
+	for _, s := range scopes {
+		if path == s {
+			return true
+		}
+		if n := len(path) - len(s); n > 0 && path[n-1] == '/' && path[n:] == s {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !InScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if constructors[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "global %s.%s breaks per-edge seed reproducibility; draw from an injected *rand.Rand", path, sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"github.com/meanet/meanet/internal/analysis/analysistest"
+	"github.com/meanet/meanet/internal/analysis/seededrand"
+)
+
+func TestSeededrand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), seededrand.Analyzer, "edge", "other")
+}

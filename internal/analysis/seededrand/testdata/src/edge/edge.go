@@ -1,0 +1,30 @@
+// Package edge exercises seededrand inside a covered reproducibility-path
+// package.
+package edge
+
+import "math/rand"
+
+func badPick(n int) int {
+	return rand.Intn(n) // want `global math/rand\.Intn breaks per-edge seed reproducibility`
+}
+
+func badJitter() float64 {
+	return rand.Float64() // want `global math/rand\.Float64 breaks per-edge seed reproducibility`
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle`
+}
+
+// goodInjected is PR 6's pattern: a decorrelated per-edge seed feeding an
+// injected generator.
+func goodInjected(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+type router struct{ rng *rand.Rand }
+
+func (rt *router) pick(n int) int {
+	return rt.rng.Intn(n) // method on an injected *rand.Rand is the point
+}

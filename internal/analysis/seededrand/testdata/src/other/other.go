@@ -1,0 +1,8 @@
+// Package other is off the reproducibility path: global rand is allowed.
+package other
+
+import "math/rand"
+
+func pick(n int) int {
+	return rand.Intn(n)
+}

@@ -1,0 +1,12 @@
+package sentinelcmp_test
+
+import (
+	"testing"
+
+	"github.com/meanet/meanet/internal/analysis/analysistest"
+	"github.com/meanet/meanet/internal/analysis/sentinelcmp"
+)
+
+func TestSentinelcmp(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), sentinelcmp.Analyzer, "sc")
+}

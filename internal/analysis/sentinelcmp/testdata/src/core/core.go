@@ -1,0 +1,7 @@
+// Package core mirrors the real core package's shed sentinel.
+package core
+
+import "errors"
+
+// ErrShed mirrors core.ErrShed: the cloud shed the offload under load.
+var ErrShed = errors.New("core: cloud shed the offload")

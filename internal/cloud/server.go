@@ -127,7 +127,7 @@ type Server struct {
 	featBatch *batcher    // features-mode collector; nil unless batching and feat are both on
 	shedPol   *ShedPolicy // nil when admission control is disabled
 
-	mu     sync.Mutex
+	mu     sync.Mutex // guards ln, conns, closed
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	closed bool

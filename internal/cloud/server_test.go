@@ -104,6 +104,11 @@ func TestServerRejectsWrongGeometry(t *testing.T) {
 	}
 }
 
+// TestServerDropsCorruptStream writes bytes that are deliberately NOT a
+// frame — proving the server drops a corrupt stream — so it is a designated
+// raw writer.
+//
+// meanet:frame-writer
 func TestServerDropsCorruptStream(t *testing.T) {
 	s := startServer(t, testClassifier(t, 6), nil)
 	conn, err := net.Dial("tcp", s.Addr().String())

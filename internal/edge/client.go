@@ -193,7 +193,9 @@ type TCPClient struct {
 
 	wmu sync.Mutex // serializes frame writes onto the connection
 
-	mu      sync.Mutex // guards conn, pending, nextID, failure, redial state
+	// mu guards conn, gen, closed, pending, nextID, broken, backoff,
+	// nextRedial, redialing
+	mu      sync.Mutex
 	conn    net.Conn
 	gen     uint64 // connection generation; bumped on every successful redial
 	closed  bool
@@ -212,7 +214,7 @@ type TCPClient struct {
 
 	est *linkest.Estimator
 
-	loadMu   sync.Mutex
+	loadMu   sync.Mutex // guards lastLoad, haveLoad
 	lastLoad protocol.LoadStatus
 	haveLoad bool
 }

@@ -99,7 +99,7 @@ type MultiClient struct {
 	addrs    []string
 	cfg      MultiConfig
 
-	mu       sync.Mutex
+	mu       sync.Mutex // guards rng, until, shedExcl, offloads, sheds, failures, now
 	rng      *rand.Rand
 	until    []time.Time // exclusion expiry per replica (zero = open)
 	shedExcl []bool      // active exclusion consists of sheds only
@@ -287,6 +287,7 @@ func (m *MultiClient) best() (int, bool) {
 // shedOrigin tracks whether the ACTIVE window consists of sheds only: the
 // all-replicas-excluded degradation is a zero-charge edge hold exactly when
 // the servers asked for silence, and a plain failure when transports died.
+// The caller holds m.mu.
 func (m *MultiClient) exclude(i int, d time.Duration, shedOrigin bool) {
 	now := m.now()
 	active := now.Before(m.until[i])

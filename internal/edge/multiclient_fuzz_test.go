@@ -52,7 +52,9 @@ func FuzzMultiRoute(f *testing.F) {
 			t.Fatal(err)
 		}
 		clk := newFakeClock()
+		m.mu.Lock()
 		m.now = clk.now
+		m.mu.Unlock()
 
 		// Reference model of the exclusion state, updated with the same
 		// rules the client documents.

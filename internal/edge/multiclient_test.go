@@ -132,7 +132,9 @@ func newTestMulti(t *testing.T, n int) (*MultiClient, []*scriptReplica, *fakeClo
 		t.Fatal(err)
 	}
 	clk := newFakeClock()
+	m.mu.Lock()
 	m.now = clk.now
+	m.mu.Unlock()
 	return m, reps, clk
 }
 

@@ -230,6 +230,10 @@ type Runtime struct {
 	cloud CloudClient
 	cost  *CostParams
 
+	// mu guards policy, mode, est, load, budget, adapt, lastRep, haveLastRep,
+	// repFlips, shedUntil, n, exits, cloudFailures, shedEvents, shedFallbacks,
+	// bytesSent, rawUploads, featUploads, energyTotal, latencyCompute,
+	// latencyComm
 	mu             sync.Mutex
 	policy         core.Policy
 	mode           OffloadMode

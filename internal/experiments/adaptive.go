@@ -28,7 +28,7 @@ import (
 // simEstimator is a steerable edge.LinkEstimator: the experiment sets the
 // link per phase, standing in for the TCP client's measured EWMA.
 type simEstimator struct {
-	mu  sync.Mutex
+	mu  sync.Mutex // guards est
 	est linkest.Estimate
 }
 

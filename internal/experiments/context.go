@@ -122,7 +122,7 @@ func (s *System) ExtMACs() int64 { return s.Profile.Trained.MACs }
 type Context struct {
 	cfg Config
 
-	mu      sync.Mutex
+	mu      sync.Mutex // guards synths, clouds, systems, tails
 	synths  map[string]*data.Synth
 	clouds  map[string]*models.Classifier
 	systems map[SystemKey]*System
@@ -160,7 +160,8 @@ func (ctx *Context) FeatureTail(sys *System) (*cloud.Tail, error) {
 // Config returns the normalized configuration.
 func (ctx *Context) Config() Config { return ctx.cfg }
 
-// dataset returns the cached synthetic dataset for a preset name.
+// dataset returns the cached synthetic dataset for a preset name. The
+// caller holds ctx.mu.
 func (ctx *Context) dataset(name string) (*data.Synth, error) {
 	if s, ok := ctx.synths[name]; ok {
 		return s, nil
@@ -183,7 +184,8 @@ func (ctx *Context) dataset(name string) (*data.Synth, error) {
 	return s, nil
 }
 
-// cloudModel returns the cached trained cloud AI for a dataset.
+// cloudModel returns the cached trained cloud AI for a dataset. The caller
+// holds ctx.mu.
 func (ctx *Context) cloudModel(dsName string) (*models.Classifier, error) {
 	if c, ok := ctx.clouds[dsName]; ok {
 		return c, nil

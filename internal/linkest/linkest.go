@@ -99,8 +99,8 @@ func (e Estimate) UploadTime(bytes int64) time.Duration {
 type Estimator struct {
 	cfg Config
 
-	mu        sync.Mutex
-	rtt       float64 // seconds
+	mu        sync.Mutex // guards rtt, secPerBit, haveRTT, haveBW, samples
+	rtt       float64    // seconds
 	secPerBit float64
 	haveRTT   bool
 	haveBW    bool

@@ -105,7 +105,7 @@ type faultConn struct {
 	net.Conn
 	mode FaultMode
 
-	mu      sync.Mutex
+	mu      sync.Mutex // guards budget, tripped
 	budget  int64
 	tripped bool
 }
