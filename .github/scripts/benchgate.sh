@@ -5,7 +5,8 @@
 # fails (exit 1) on a >15% regression in the gated benchmarks:
 #
 #   - MatMul512 and MEANetInferBatch: best (minimum) ns/op
-#   - every FleetOffload sub-benchmark: best (maximum) images/s
+#   - every FleetOffload and FleetWeighted sub-benchmark: best (maximum)
+#     images/s
 #
 # "Best of N" over the -count repetitions damps scheduler noise on shared
 # runners: a genuine regression slows the best rep too, while a noisy rep
@@ -67,11 +68,12 @@ for name in BenchmarkMatMul512 BenchmarkMEANetInferBatch; do
   gate "$name" "$(min_ns "$base" "$name")" "$(min_ns "$head" "$name")" lower ns/op
 done
 
-# FleetOffload sub-benchmarks, discovered from the BASE file so a head that
-# silently drops one fails as MISSING instead of passing unexamined.
-subs=$(awk '$1 ~ /^BenchmarkFleetOffload\// { sub(/-[0-9]+$/, "", $1); print $1 }' "$base" | sort -u)
+# FleetOffload and FleetWeighted sub-benchmarks, discovered from the BASE
+# file so a head that silently drops one fails as MISSING instead of passing
+# unexamined.
+subs=$(awk '$1 ~ /^BenchmarkFleet(Offload|Weighted)\// { sub(/-[0-9]+$/, "", $1); print $1 }' "$base" | sort -u)
 if [ -z "$subs" ]; then
-  echo "benchgate: MISSING BenchmarkFleetOffload in base output"
+  echo "benchgate: MISSING BenchmarkFleetOffload/BenchmarkFleetWeighted in base output"
   fail=1
 fi
 for name in $subs; do

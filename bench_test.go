@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -608,6 +609,82 @@ func BenchmarkFleetOffload(b *testing.B) {
 	b.Run("shedding", func(b *testing.B) {
 		run(b, cloud.WithShedding(cloud.ShedPolicy{MaxInFlight: 2, RetryAfter: 10 * time.Millisecond}))
 	})
+}
+
+// flatLogits is the zero-cpu cloud stand-in used by BenchmarkFleetWeighted:
+// constant logits, so a replica's whole serving cost is its modeled delay.
+type flatLogits struct{ classes int }
+
+func (m flatLogits) Logits(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return tensor.New(x.Dim(0), m.classes)
+}
+
+// BenchmarkFleetWeighted measures heterogeneous-fleet routing over
+// co-located replicas: concurrent workers share one edge.MultiClient across
+// 2 fast + 1 slow (6×) serialized accelerators, with uniform p2c vs the
+// learned service-time weighting. In-process replicas expose no link RTT or
+// load signal, so the weight is the only thing separating the straggler.
+// Each op is one whole run — fresh replicas and a fresh router, so the
+// weighted rows re-learn the straggler from scratch every time. Reported:
+// aggregate images/s and the straggler's share of answered round trips.
+func BenchmarkFleetWeighted(b *testing.B) {
+	const workers, batchSize, batches = 4, 8, 6
+	const fastDelay, slowDelay = 2 * time.Millisecond, 12 * time.Millisecond
+	imgs := make([]*tensor.Tensor, batchSize)
+	for i := range imgs {
+		imgs[i] = tensor.New(3, 8, 8)
+	}
+	run := func(b *testing.B, uniform bool) {
+		b.Helper()
+		var slowCalls, totalCalls uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			clients := make([]edge.CloudClient, 3)
+			for r, d := range []time.Duration{fastDelay, fastDelay, slowDelay} {
+				clients[r] = &edge.InProcClient{
+					Model: &fleet.SlowModel{Inner: flatLogits{classes: 10}, Delay: d},
+				}
+			}
+			mc, err := edge.NewMultiClient(clients,
+				[]string{"inproc://fast-0", "inproc://fast-1", "inproc://slow"},
+				edge.MultiConfig{Seed: int64(i + 1), DisableServiceWeight: uniform})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			var firstErr atomic.Value
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := 0; j < batches; j++ {
+						if _, _, err := mc.ClassifyBatch(imgs); err != nil {
+							firstErr.CompareAndSwap(nil, err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if err, ok := firstErr.Load().(error); ok {
+				b.Fatal(err)
+			}
+			for _, st := range mc.ReplicaStats() {
+				totalCalls += st.Offloads
+				if st.Addr == "inproc://slow" {
+					slowCalls += st.Offloads
+				}
+			}
+			mc.Close()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(workers*batches*batchSize*b.N)/b.Elapsed().Seconds(), "images/s")
+		if totalCalls > 0 {
+			b.ReportMetric(100*float64(slowCalls)/float64(totalCalls), "slow-share-%")
+		}
+	}
+	b.Run("uniform", func(b *testing.B) { run(b, true) })
+	b.Run("weighted", func(b *testing.B) { run(b, false) })
 }
 
 func BenchmarkProtocolTensorRoundTrip(b *testing.B) {

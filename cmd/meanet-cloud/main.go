@@ -42,6 +42,14 @@
 // replica serves the same model) and hand the edge the full list:
 // meanet-edge -cloud host:9400,host:9401. Each replica runs its own
 // admission control; the edge routes around shed or dead replicas.
+//
+// On connect, the server answers the edge's MsgHello handshake with its
+// capability frame: whether it serves the feature tail (-tail) and its
+// micro-batch ceiling (-batch, 0 when unbatched). A heterogeneous fleet can
+// therefore mix tail-equipped and raw-only replicas — edges skip tail-less
+// replicas for feature uploads instead of failing. Replicas may also be
+// added to or removed from a running edge (meanet-edge -admin) without
+// restarting anything.
 package main
 
 import (

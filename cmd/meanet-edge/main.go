@@ -10,6 +10,7 @@
 //	            [-variant A|B] [-latency 10ms] [-mbps 18.88] [-batch N]
 //	            [-offload raw|features|auto] [-retries N]
 //	            [-latency-budget 20ms] [-adapt-min-samples N]
+//	            [-admin host:port]
 //
 // Start meanet-cloud first with the same -dataset, -scale, -seed and
 // -variant so both ends agree on the synthetic dataset, class count and —
@@ -49,15 +50,27 @@
 // (edge.MultiClient): a shed from one replica fails over to the next open
 // one before any edge fallback, a dead replica is excluded temporarily while
 // its connection redials in the background, and the final report prints
-// per-replica offload/shed/failure counts.
+// per-replica offload/shed/failure counts plus the capability matrix each
+// replica advertised in its MsgHello handshake (tail-capable, batch limit;
+// "caps unknown" for legacy servers, which are routed optimistically).
+//
+// -admin (multi-replica runs only) opens a line-based TCP control socket for
+// live membership while the test set streams: "add host:port" dials a new
+// replica with the run's transport settings and joins it to the router,
+// "remove host:port" retires one — draining its in-flight batches, never
+// aborting them — and "list" prints the live per-replica table. One command
+// per line, one "ok"/"err" reply per command (try it with nc).
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/meanet/meanet/internal/core"
@@ -91,6 +104,7 @@ func run(args []string) error {
 	retries := fs.Int("retries", 1, "re-offload attempts for instances whose cloud call failed")
 	budget := fs.Duration("latency-budget", 0, "per-offload cloud latency budget for closed-loop adaptation (0 = off)")
 	minSamples := fs.Int("adapt-min-samples", 0, "round trips before live link estimates drive adaptation (0 = default 8)")
+	adminAddr := fs.String("admin", "", "listen address for the membership control socket: add/remove/list replicas mid-run (multi-replica only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -158,6 +172,7 @@ func run(args []string) error {
 	// Cloud transport: one pipelined connection per replica address, routed
 	// by edge.MultiClient when there is more than one.
 	var client edge.CloudClient
+	var mc *edge.MultiClient
 	addrs := edge.SplitAddrs(*cloudAddr)
 	useCloud := len(addrs) > 0
 	if useCloud {
@@ -166,7 +181,8 @@ func run(args []string) error {
 		if len(addrs) == 1 {
 			client, err = edge.DialCloud(addrs[0], dcfg)
 		} else {
-			client, err = edge.DialMultiCloud(addrs, dcfg, edge.MultiConfig{})
+			mc, err = edge.DialMultiCloud(addrs, dcfg, edge.MultiConfig{})
+			client = mc
 		}
 		if err != nil {
 			return fmt.Errorf("dial cloud: %w", err)
@@ -178,6 +194,22 @@ func run(args []string) error {
 			}
 		}
 		fmt.Fprintf(os.Stderr, "connected to %d cloud replica(s): %s\n", len(addrs), strings.Join(addrs, ", "))
+	}
+	if *adminAddr != "" {
+		if mc == nil {
+			return fmt.Errorf("-admin needs a multi-replica run (-cloud with ≥2 addresses)")
+		}
+		ln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return fmt.Errorf("admin listen: %w", err)
+		}
+		adminDone := make(chan struct{})
+		go func() { defer close(adminDone); serveAdmin(ln, mc) }()
+		// Registered after the router's Close defer, so (LIFO) the admin
+		// loop — including every accepted connection — is fully stopped
+		// before the router it commands is closed.
+		defer func() { ln.Close(); <-adminDone }()
+		fmt.Fprintf(os.Stderr, "admin control socket on %s (add/remove/list)\n", ln.Addr())
 	}
 
 	// Energy model. FeatureBytes comes from the main block's actual output
@@ -286,15 +318,117 @@ func run(args []string) error {
 			}
 		}
 		for _, rs := range rep.Replicas {
-			excl := ""
+			state := ""
 			if rs.Excluded {
-				excl = " (excluded)"
+				state += " (excluded)"
 			}
-			fmt.Printf("replica %-22s %d offloads, %d sheds, %d failures, %d wire bytes%s\n",
-				rs.Addr+":", rs.Offloads, rs.Sheds, rs.Failures, rs.BytesSent, excl)
+			if rs.Removed {
+				state += " (removed)"
+			}
+			fmt.Printf("replica %-22s %d offloads, %d sheds, %d failures, %d wire bytes, %s%s\n",
+				rs.Addr+":", rs.Offloads, rs.Sheds, rs.Failures, rs.BytesSent, capsString(rs), state)
 		}
 	}
 	return nil
+}
+
+// serveAdmin accepts membership control connections until the listener
+// closes, then closes every connection still open and waits for its
+// handlers — so the caller knows no command can still reach the router.
+// The wire format is one command line in ("add <addr>", "remove <addr>",
+// "list"), one "ok"/"err" reply out.
+func serveAdmin(ln net.Listener, mc *edge.MultiClient) {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		conns = make(map[net.Conn]struct{})
+	)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			break
+		}
+		mu.Lock()
+		conns[conn] = struct{}{}
+		mu.Unlock()
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer func() {
+				mu.Lock()
+				delete(conns, conn)
+				mu.Unlock()
+				conn.Close()
+			}()
+			sc := bufio.NewScanner(conn)
+			for sc.Scan() {
+				if _, err := fmt.Fprintln(conn, adminReply(mc, sc.Text())); err != nil {
+					return
+				}
+			}
+		}(conn)
+	}
+	mu.Lock()
+	for conn := range conns {
+		conn.Close()
+	}
+	mu.Unlock()
+	wg.Wait()
+}
+
+// adminReply executes one control command against the replica router.
+func adminReply(mc *edge.MultiClient, line string) string {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "err empty command (want add <addr>, remove <addr> or list)"
+	}
+	switch fields[0] {
+	case "add":
+		if len(fields) != 2 {
+			return "err usage: add <addr>"
+		}
+		if err := mc.AddReplicaAddr(fields[1]); err != nil {
+			return "err " + err.Error()
+		}
+		return "ok added " + fields[1]
+	case "remove":
+		if len(fields) != 2 {
+			return "err usage: remove <addr>"
+		}
+		if err := mc.RemoveReplica(fields[1]); err != nil {
+			return "err " + err.Error()
+		}
+		return "ok removing " + fields[1] + " (drains in-flight calls, history kept)"
+	case "list":
+		var sb strings.Builder
+		for _, rs := range mc.ReplicaStats() {
+			state := ""
+			if rs.Excluded {
+				state += " excluded"
+			}
+			if rs.Removed {
+				state += " removed"
+			}
+			fmt.Fprintf(&sb, "replica %s: %d offloads, %d sheds, %d failures, %s%s\n",
+				rs.Addr, rs.Offloads, rs.Sheds, rs.Failures, capsString(rs), state)
+		}
+		return sb.String() + "ok"
+	default:
+		return "err unknown command " + fields[0] + " (want add <addr>, remove <addr> or list)"
+	}
+}
+
+// capsString renders the capability matrix a replica advertised in its
+// MsgHello handshake for the report and the admin list.
+func capsString(rs edge.ReplicaStats) string {
+	if !rs.CapsKnown {
+		return "caps unknown"
+	}
+	tail := "no tail"
+	if rs.TailCapable {
+		tail = "tail"
+	}
+	return fmt.Sprintf("%s, max batch %d", tail, rs.MaxBatch)
 }
 
 func progress(what string) func(int, float64) {

@@ -436,6 +436,18 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
+// capabilities assembles what this server advertises in a MsgHello reply.
+// Both facts are fixed at serve time (the tail is a constructor argument,
+// batching is wired before Serve), so the reply is stable for the life of a
+// connection and the edge may cache it.
+func (s *Server) capabilities() protocol.Capabilities {
+	c := protocol.Capabilities{TailCapable: s.feat != nil}
+	if s.batch != nil {
+		c.MaxBatch = uint32(s.batch.cfg.MaxBatch)
+	}
+	return c
+}
+
 // isClassify reports whether a frame type carries classification work — the
 // frames admission control may shed (pings and unknown types never are).
 func isClassify(t protocol.MsgType) bool {
@@ -456,6 +468,12 @@ func (s *Server) dispatch(f protocol.Frame) protocol.Frame {
 	switch f.Type {
 	case protocol.MsgPing:
 		return protocol.Frame{Type: protocol.MsgPong, ID: f.ID}
+	case protocol.MsgHello:
+		// Capability handshake: the reply tells a capability-aware router
+		// whether features-mode frames can succeed here and how large the
+		// micro-batch collector is. Never shed (isClassify excludes it): a
+		// replica under pressure must still be able to introduce itself.
+		return protocol.Frame{Type: protocol.MsgHello, ID: f.ID, Payload: protocol.EncodeHello(s.capabilities())}
 	case protocol.MsgClassifyRaw:
 		if s.batch != nil {
 			return s.classifyCollected(s.batch, f)

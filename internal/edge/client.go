@@ -45,6 +45,19 @@ type FeatureCloudClient interface {
 	ClassifyFeaturesBatch(feats []*tensor.Tensor) (preds []int, confs []float64, err error)
 }
 
+// CapabilityReporter is the optional refinement of CloudClient for
+// transports that know what the far end can do — typically learned from the
+// MsgHello handshake at connect. A capability-aware router uses it to skip
+// replicas that cannot serve a features-mode call instead of discovering the
+// mismatch by burning the call (and an exclusion window) on an error reply.
+type CapabilityReporter interface {
+	// Capabilities returns the replica's advertised capabilities, and whether
+	// they are known. ok is false until a handshake has succeeded — unknown
+	// capabilities mean "route optimistically", exactly the pre-handshake
+	// behavior, so a legacy server that errors on MsgHello keeps working.
+	Capabilities() (caps protocol.Capabilities, ok bool)
+}
+
 // stackedBatchClient is the zero-copy fast path of BatchOffload: both
 // built-in clients take the already-stacked NCHW tensor directly, skipping
 // the split-into-views / re-stack round trip of the interface call.
@@ -217,6 +230,10 @@ type TCPClient struct {
 	loadMu   sync.Mutex // guards lastLoad, haveLoad
 	lastLoad protocol.LoadStatus
 	haveLoad bool
+
+	capsMu   sync.Mutex // guards caps, haveCaps
+	caps     protocol.Capabilities
+	haveCaps bool
 }
 
 // clientResult carries one matched response frame (or the transport error
@@ -227,6 +244,7 @@ type clientResult struct {
 }
 
 var _ FeatureCloudClient = (*TCPClient)(nil)
+var _ CapabilityReporter = (*TCPClient)(nil)
 
 // DialCloud connects to a cloud server. The client redials the address
 // (with exponential backoff) if the connection later breaks, so a transient
@@ -670,6 +688,47 @@ func (c *TCPClient) Ping() error {
 	return nil
 }
 
+// Hello round-trips the capability handshake and caches the reply for
+// Capabilities. A MsgError reply (a server predating the handshake) is an
+// error to the caller but leaves the client usable with capabilities
+// unknown; transport errors likewise. Safe to call again after a redial —
+// the far end's capabilities are fixed per server, so the cache only ever
+// converges.
+func (c *TCPClient) Hello() (protocol.Capabilities, error) {
+	id, ch, _, err := c.send(protocol.MsgHello, nil)
+	if err != nil {
+		return protocol.Capabilities{}, err
+	}
+	f, err := c.await(id, ch)
+	if err != nil {
+		return protocol.Capabilities{}, err
+	}
+	switch f.Type {
+	case protocol.MsgHello:
+		caps, err := protocol.DecodeHello(f.Payload)
+		if err != nil {
+			return protocol.Capabilities{}, fmt.Errorf("edge: hello reply: %w", err)
+		}
+		c.capsMu.Lock()
+		c.caps = caps
+		c.haveCaps = true
+		c.capsMu.Unlock()
+		return caps, nil
+	case protocol.MsgError:
+		return protocol.Capabilities{}, fmt.Errorf("edge: hello unsupported by server: %s", f.Payload)
+	default:
+		return protocol.Capabilities{}, fmt.Errorf("edge: bad hello reply (type %s id %d)", f.Type, f.ID)
+	}
+}
+
+// Capabilities reports the far end's advertised capabilities; ok is false
+// until a Hello round trip has succeeded.
+func (c *TCPClient) Capabilities() (protocol.Capabilities, bool) {
+	c.capsMu.Lock()
+	defer c.capsMu.Unlock()
+	return c.caps, c.haveCaps
+}
+
 // BytesSent reports the cumulative wire bytes uploaded (frame headers
 // included — the same unit the server's BytesIn counter uses, so the two
 // ends agree bitwise when every written frame was received).
@@ -713,6 +772,14 @@ type InProcClient struct {
 }
 
 var _ FeatureCloudClient = (*InProcClient)(nil)
+var _ CapabilityReporter = (*InProcClient)(nil)
+
+// Capabilities reports what this client can serve — always known, since
+// there is no wire between the router and the model: features mode works
+// exactly when a Tail is configured, and there is no batch collector.
+func (c *InProcClient) Capabilities() (protocol.Capabilities, bool) {
+	return protocol.Capabilities{TailCapable: c.Tail != nil}, true
+}
 
 // Classify runs the classifier directly (a 1-image batch through the same
 // post-processing as the batched path, so the two agree bitwise).

@@ -28,6 +28,20 @@ type MultiConfig struct {
 	// so any seed gives the same aggregate behavior; a fixed default keeps
 	// simulations reproducible.
 	Seed int64
+	// ServiceAlpha is the EWMA weight of each new per-call service-time
+	// sample in a replica's capacity estimate (default 0.3): high enough to
+	// track a replica that slows down mid-run, low enough that one stalled
+	// batch does not write off a healthy replica.
+	ServiceAlpha float64
+	// MinServiceSamples is how many successful calls a replica must have
+	// answered before its service-time estimate starts weighting its score
+	// (default 3). Below the floor a replica is scored at weight 1, so cold
+	// and newly joined replicas are explored instead of judged on noise.
+	MinServiceSamples int
+	// DisableServiceWeight turns capacity weighting off, reverting to the
+	// uniform p2c score (load × latency). Used by the weighted-vs-uniform
+	// experiment; production fleets want it off (i.e. weighting on).
+	DisableServiceWeight bool
 }
 
 func (c *MultiConfig) fillDefaults() {
@@ -36,6 +50,12 @@ func (c *MultiConfig) fillDefaults() {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.ServiceAlpha <= 0 || c.ServiceAlpha > 1 {
+		c.ServiceAlpha = 0.3
+	}
+	if c.MinServiceSamples <= 0 {
+		c.MinServiceSamples = 3
 	}
 }
 
@@ -55,9 +75,19 @@ type ReplicaStats struct {
 	// Excluded reports whether the replica was inside an exclusion window at
 	// snapshot time.
 	Excluded bool
+	// Removed reports whether the replica has left the candidate set
+	// (RemoveReplica). Its counters above are final history, never dropped.
+	Removed bool
 	// BytesSent is the replica transport's wire-byte counter (0 when the
 	// transport does not report one).
 	BytesSent uint64
+	// CapsKnown reports whether the replica's capability handshake
+	// (MsgHello) succeeded; TailCapable and MaxBatch are meaningful only
+	// then. False for legacy servers and transports without the handshake —
+	// such replicas are routed optimistically.
+	CapsKnown   bool
+	TailCapable bool
+	MaxBatch    uint32
 }
 
 // ReplicaReporter surfaces per-replica accounting. *MultiClient implements
@@ -72,18 +102,56 @@ type ReplicaReporter interface {
 // its load alone instead of reading as infinitely attractive or repulsive.
 const scoreBaseSeconds = 1e-3
 
-// MultiClient routes offloads across M cloud replicas. It implements the
-// same FeatureCloudClient interface as the single-connection TCPClient, so
-// the edge runtime, core.InferBatchedRep, the auto offload mode and the
-// threshold controller all work unchanged on top of it.
+// replica is one routed-to cloud transport plus the router's bookkeeping for
+// it. The MultiClient's slice of these is append-only: a removed replica
+// keeps its entry forever so the final report never loses its counters to a
+// slice compaction; routing skips it via the removed flag.
+//
+// client and addr are immutable after construction. Every other field is
+// mutable state protected by the owning MultiClient's mu (the replica has no
+// lock of its own — all mutation happens through the router).
+type replica struct {
+	client CloudClient
+	addr   string
+
+	until    time.Time // exclusion expiry (zero = open)
+	shedExcl bool      // active exclusion consists of sheds only
+	offloads uint64
+	sheds    uint64
+	failures uint64
+	inflight int  // routed calls currently executing on this transport
+	removed  bool // left the candidate set; drain, then close
+	closed   bool // transport closed (drained after removal, or client Close)
+
+	// svcEWMA tracks this replica's observed per-call service time in
+	// seconds (an EWMA over successful routed calls, end to end: network +
+	// queueing + forward pass). svcN counts the samples folded in. Together
+	// they give the capacity weight that down-ranks a slow replica without
+	// any static configuration.
+	svcEWMA float64
+	svcN    int
+}
+
+// MultiClient routes offloads across a live set of cloud replicas. It
+// implements the same FeatureCloudClient interface as the single-connection
+// TCPClient, so the edge runtime, core.InferBatchedRep, the auto offload
+// mode and the threshold controller all work unchanged on top of it.
 //
 // Routing is client-side power-of-two-choices: each call samples two open
 // replicas and takes the one with the lower score, where a replica's score
 // combines the load its server last piggybacked on a result frame
-// (queue depth + in-flight dispatches) with the replica link's measured RTT.
-// Two random choices with local scores avoid the herd behavior of
-// deterministic least-loaded routing when many edges share the same stale
-// load snapshots.
+// (queue depth + in-flight dispatches), the replica link's measured RTT, and
+// a capacity weight learned from an EWMA of observed service times (so a
+// half-speed replica is down-ranked without config — see score). Two random
+// choices with local scores avoid the herd behavior of deterministic
+// least-loaded routing when many edges share the same stale load snapshots.
+//
+// Membership is dynamic: AddReplica/AddReplicaAddr join a replica mid-run
+// and RemoveReplica retires one — removal drains, never aborts: in-flight
+// calls finish on the leaving transport, which closes only when the last one
+// returns. A features-mode call only considers replicas whose advertised
+// capabilities (MsgHello handshake) include a feature tail, so a tail-less
+// replica is skipped rather than burned on a guaranteed error.
 //
 // A shed reply excludes the replica until its retry-after hint expires and
 // the call moves on to the next open replica; only when EVERY replica is
@@ -95,17 +163,16 @@ const scoreBaseSeconds = 1e-3
 // background — so a replica dying mid-run costs at most the batches that
 // were in flight on it.
 type MultiClient struct {
-	replicas []CloudClient
-	addrs    []string
-	cfg      MultiConfig
+	cfg MultiConfig
 
-	mu       sync.Mutex // guards rng, until, shedExcl, offloads, sheds, failures, now
+	// dial reconnects the admin path: set by DialMultiCloud (capturing its
+	// DialConfig and the capability handshake), nil on a client built over
+	// pre-dialed transports. Immutable after construction.
+	dial func(addr string) (CloudClient, error)
+
+	mu       sync.Mutex // guards rng, replicas, now
 	rng      *rand.Rand
-	until    []time.Time // exclusion expiry per replica (zero = open)
-	shedExcl []bool      // active exclusion consists of sheds only
-	offloads []uint64
-	sheds    []uint64
-	failures []uint64
+	replicas []*replica
 	now      func() time.Time // test hook; time.Now in production
 }
 
@@ -114,7 +181,8 @@ var _ ReplicaReporter = (*MultiClient)(nil)
 
 // NewMultiClient builds a router over pre-dialed replica transports. addrs
 // labels the replicas for reporting; it may be nil or must match clients in
-// length. The MultiClient owns the transports: Close closes them all.
+// length, without duplicates. The MultiClient owns the transports: Close
+// closes them all.
 func NewMultiClient(clients []CloudClient, addrs []string, cfg MultiConfig) (*MultiClient, error) {
 	if len(clients) == 0 {
 		return nil, errors.New("edge: multi-client needs at least one replica")
@@ -133,33 +201,53 @@ func NewMultiClient(clients []CloudClient, addrs []string, cfg MultiConfig) (*Mu
 			addrs[i] = fmt.Sprintf("replica-%d", i)
 		}
 	}
+	seen := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		if seen[a] {
+			return nil, fmt.Errorf("edge: duplicate replica address %q", a)
+		}
+		seen[a] = true
+	}
 	cfg.fillDefaults()
+	reps := make([]*replica, len(clients))
+	for i, c := range clients {
+		reps[i] = &replica{client: c, addr: addrs[i]}
+	}
 	return &MultiClient{
-		replicas: clients,
-		addrs:    addrs,
 		cfg:      cfg,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		until:    make([]time.Time, len(clients)),
-		shedExcl: make([]bool, len(clients)),
-		offloads: make([]uint64, len(clients)),
-		sheds:    make([]uint64, len(clients)),
-		failures: make([]uint64, len(clients)),
+		replicas: reps,
 		now:      time.Now,
 	}, nil
 }
 
 // DialMultiCloud dials every replica address with the same DialConfig (each
-// replica gets its own connection, link shaping and redial-with-backoff) and
-// wraps them in a MultiClient. All addresses must dial — a replica that is
-// down at startup is a deployment error, not a routing condition; replicas
-// that die LATER are survived by exclusion + failover + redial.
+// replica gets its own connection, link shaping and redial-with-backoff),
+// runs the MsgHello capability handshake on each, and wraps them in a
+// MultiClient. All addresses must dial — a replica that is down at startup
+// is a deployment error, not a routing condition; replicas that die LATER
+// are survived by exclusion + failover + redial. A failed handshake is NOT a
+// dial failure: a legacy server answers MsgHello with an error frame and
+// simply keeps its capabilities unknown (routed optimistically, the
+// pre-handshake behavior).
+//
+// The returned client keeps the dial recipe, so AddReplicaAddr can join new
+// replicas mid-run with identical transport settings.
 func DialMultiCloud(addrs []string, cfg DialConfig, mcfg MultiConfig) (*MultiClient, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("edge: no replica addresses")
 	}
+	dial := func(addr string) (CloudClient, error) {
+		c, err := DialCloud(addr, cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.Hello() // best-effort: errors leave capabilities unknown
+		return c, nil
+	}
 	clients := make([]CloudClient, 0, len(addrs))
 	for _, addr := range addrs {
-		c, err := DialCloud(addr, cfg)
+		c, err := dial(addr)
 		if err != nil {
 			for _, prev := range clients {
 				prev.Close()
@@ -168,37 +256,194 @@ func DialMultiCloud(addrs []string, cfg DialConfig, mcfg MultiConfig) (*MultiCli
 		}
 		clients = append(clients, c)
 	}
-	return NewMultiClient(clients, addrs, mcfg)
+	m, err := NewMultiClient(clients, addrs, mcfg)
+	if err != nil {
+		for _, c := range clients {
+			c.Close()
+		}
+		return nil, err
+	}
+	m.dial = dial
+	return m, nil
 }
 
 // SplitAddrs parses a comma-separated replica address list (the meanet-edge
-// -cloud flag): entries are trimmed and empties dropped, so "a, b," is
-// ["a" "b"].
+// -cloud flag): entries are trimmed, empties dropped, and duplicates
+// collapsed onto their first occurrence — "host:1,host:1" is ONE replica.
+// Two connections to the same server would skew p2c sampling toward it and
+// split its accounting across two rows without adding any capacity.
 func SplitAddrs(s string) []string {
 	var out []string
+	seen := make(map[string]bool)
 	for _, part := range strings.Split(s, ",") {
-		if p := strings.TrimSpace(part); p != "" {
-			out = append(out, p)
+		p := strings.TrimSpace(part)
+		if p == "" || seen[p] {
+			continue
 		}
+		seen[p] = true
+		out = append(out, p)
 	}
 	return out
 }
 
-// score ranks replica i for the next offload; lower is better. The load the
+// AddReplica joins a pre-dialed transport to the candidate set mid-run. The
+// addr labels it for reporting and duplicate detection ("" picks the next
+// replica-i label); joining an addr that is already open is rejected.
+// Rejoining a previously removed addr is allowed and creates a NEW entry —
+// the removed entry keeps its historical counters, and reports aggregating
+// by addr sum the two. The MultiClient takes ownership of the transport.
+func (m *MultiClient) AddReplica(client CloudClient, addr string) error {
+	if client == nil {
+		return errors.New("edge: nil replica client")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if addr == "" {
+		addr = fmt.Sprintf("replica-%d", len(m.replicas))
+	}
+	for _, r := range m.replicas {
+		if !r.removed && r.addr == addr {
+			return fmt.Errorf("edge: replica %s already present", addr)
+		}
+	}
+	m.replicas = append(m.replicas, &replica{client: client, addr: addr})
+	return nil
+}
+
+// AddReplicaAddr dials addr with the MultiClient's original transport
+// settings (including the capability handshake) and joins it — the admin
+// path behind meanet-edge's control surface. Only available on a client
+// built by DialMultiCloud; a router over pre-dialed transports has no dial
+// recipe to reuse.
+func (m *MultiClient) AddReplicaAddr(addr string) error {
+	if m.dial == nil {
+		return errors.New("edge: cannot dial new replicas (client built over pre-dialed transports)")
+	}
+	m.mu.Lock()
+	for _, r := range m.replicas {
+		if !r.removed && r.addr == addr {
+			m.mu.Unlock()
+			return fmt.Errorf("edge: replica %s already present", addr)
+		}
+	}
+	m.mu.Unlock()
+	c, err := m.dial(addr)
+	if err != nil {
+		return err
+	}
+	if err := m.AddReplica(c, addr); err != nil {
+		c.Close() // lost the add race; do not leak the connection
+		return err
+	}
+	return nil
+}
+
+// RemoveReplica retires the open replica labeled addr: it stops being
+// picked immediately, but removal DRAINS, never aborts — calls already in
+// flight on it finish normally and the transport closes only when the last
+// one returns. The replica's counters stay in ReplicaStats forever (final
+// history). Removing the last open replica is rejected: a router with an
+// empty candidate set could serve nothing, which is a fleet-shutdown
+// decision (Close), not a membership change.
+func (m *MultiClient) RemoveReplica(addr string) error {
+	m.mu.Lock()
+	var victim *replica
+	open := 0
+	for _, r := range m.replicas {
+		if r.removed {
+			continue
+		}
+		open++
+		if r.addr == addr {
+			victim = r
+		}
+	}
+	if victim == nil {
+		m.mu.Unlock()
+		return fmt.Errorf("edge: no open replica %s", addr)
+	}
+	if open == 1 {
+		m.mu.Unlock()
+		return fmt.Errorf("edge: cannot remove %s: it is the last open replica", addr)
+	}
+	victim.removed = true
+	closeNow := victim.inflight == 0 && !victim.closed
+	if closeNow {
+		victim.closed = true
+	}
+	m.mu.Unlock()
+	if closeNow {
+		return victim.client.Close()
+	}
+	return nil
+}
+
+// replicaTailCapable reports whether a features-mode call can possibly
+// succeed on this transport: it must carry the features interface at all,
+// and if it advertises capabilities (MsgHello), they must include a tail.
+// Unknown capabilities read as capable — a legacy server without the
+// handshake is routed optimistically, exactly the pre-handshake behavior.
+func replicaTailCapable(c CloudClient) bool {
+	if _, ok := c.(FeatureCloudClient); !ok {
+		return false
+	}
+	if cr, ok := c.(CapabilityReporter); ok {
+		if caps, known := cr.Capabilities(); known && !caps.TailCapable {
+			return false
+		}
+	}
+	return true
+}
+
+// minServiceEWMALocked finds the fastest observed service time among open
+// replicas with enough samples — the denominator of the capacity weight.
+// Returns 0 when no replica qualifies yet (or weighting is disabled), which
+// serviceWeightLocked reads as "score everyone at weight 1". The caller
+// holds m.mu.
+func (m *MultiClient) minServiceEWMALocked() float64 {
+	if m.cfg.DisableServiceWeight {
+		return 0
+	}
+	best := 0.0
+	for _, r := range m.replicas {
+		if r.removed || r.svcN < m.cfg.MinServiceSamples || r.svcEWMA <= 0 {
+			continue
+		}
+		if best == 0 || r.svcEWMA < best {
+			best = r.svcEWMA
+		}
+	}
+	return best
+}
+
+// serviceWeightLocked is replica r's capacity multiplier: its service-time
+// EWMA relative to the fleet's fastest (1 = full speed, 6 = six times
+// slower, so its score reads six times worse). Replicas without enough
+// samples weigh 1 — explored, not judged on noise. The caller holds m.mu.
+func (m *MultiClient) serviceWeightLocked(r *replica, minEWMA float64) float64 {
+	if minEWMA <= 0 || r.svcN < m.cfg.MinServiceSamples || r.svcEWMA <= 0 {
+		return 1
+	}
+	return r.svcEWMA / minEWMA
+}
+
+// score ranks replica r for the next offload; lower is better. The load the
 // server last piggybacked (queue depth + in-flight dispatches) multiplies the
 // link's measured RTT: each queued unit of work is another service time the
 // new batch waits behind, and the RTT converts that count into this
-// replica's time units. Signals that are not known yet read as optimistic
-// (zero load, floor RTT), so cold replicas get explored rather than starved.
-func (m *MultiClient) score(i int) float64 {
+// replica's time units. The caller multiplies by the capacity weight (see
+// serviceWeightLocked), which rescales the product into fleet-relative time.
+// Signals that are not known yet read as optimistic (zero load, floor RTT),
+// so cold replicas get explored rather than starved.
+func (m *MultiClient) score(r *replica) float64 {
 	load := 0.0
-	if lr, ok := m.replicas[i].(LoadReporter); ok {
+	if lr, ok := r.client.(LoadReporter); ok {
 		if st, ok := lr.CloudLoad(); ok {
 			load = float64(st.QueueDepth) + float64(st.Active)
 		}
 	}
 	lat := scoreBaseSeconds
-	if le, ok := m.replicas[i].(LinkEstimator); ok {
+	if le, ok := r.client.(LinkEstimator); ok {
 		if est := le.LinkEstimate(); est.Samples > 0 && est.RTT > 0 {
 			lat += est.RTT.Seconds()
 		}
@@ -206,29 +451,42 @@ func (m *MultiClient) score(i int) float64 {
 	return (1 + load) * lat
 }
 
+// weighted pairs a candidate with the capacity weight captured under m.mu,
+// so the lock-free scoring step still sees a consistent weight.
+type weighted struct {
+	r *replica
+	w float64
+}
+
 // pick selects the next replica to try: power-of-two-choices over the open
-// (not excluded, not yet tried this call) candidates. tried may be nil.
-func (m *MultiClient) pick(tried []bool) (int, bool) {
+// (not removed, not excluded, not yet tried this call) candidates. needTail
+// further restricts the set to replicas that can carry the features mode.
+// The returned replica's inflight count is raised; the caller MUST pass the
+// call's outcome to noteResult, which lowers it again (that pairing is what
+// lets RemoveReplica drain instead of abort).
+func (m *MultiClient) pick(tried map[*replica]bool, needTail bool) (*replica, bool) {
 	m.mu.Lock()
 	now := m.now()
-	cands := make([]int, 0, len(m.replicas))
-	for i := range m.replicas {
-		if tried != nil && tried[i] {
+	cands := make([]weighted, 0, len(m.replicas))
+	minEWMA := m.minServiceEWMALocked()
+	for _, r := range m.replicas {
+		if r.removed || tried[r] || now.Before(r.until) {
 			continue
 		}
-		if now.Before(m.until[i]) {
+		if needTail && !replicaTailCapable(r.client) {
 			continue
 		}
-		cands = append(cands, i)
+		cands = append(cands, weighted{r: r, w: m.serviceWeightLocked(r, minEWMA)})
 	}
-	var a, b int
+	var a, b weighted
 	switch len(cands) {
 	case 0:
 		m.mu.Unlock()
-		return 0, false
+		return nil, false
 	case 1:
+		cands[0].r.inflight++
 		m.mu.Unlock()
-		return cands[0], true
+		return cands[0].r, true
 	case 2:
 		// Random order, not cands[0] vs cands[1]: the comparison below keeps
 		// a on a tie, and with two replicas behind similar links score ties
@@ -248,132 +506,229 @@ func (m *MultiClient) pick(tried []bool) (int, bool) {
 		}
 		a, b = cands[ai], cands[bi]
 	}
+	// Both candidates' inflight counts go up before the lock drops, so
+	// neither can be drained-and-closed while this call is scoring them; the
+	// loser is released right after the comparison.
+	a.r.inflight++
+	b.r.inflight++
 	// Scoring reads the replicas' own locks (load, link estimate); do it
 	// outside m.mu so a slow replica cannot serialize every router decision.
 	m.mu.Unlock()
-	if m.score(b) < m.score(a) {
-		return b, true
+	win, lose := a, b
+	if m.score(b.r)*b.w < m.score(a.r)*a.w {
+		win, lose = b, a
 	}
-	return a, true
+	m.release(lose.r)
+	return win.r, true
 }
 
 // best is the deterministic variant of pick used for read-only signal
-// queries (LinkEstimate, CloudLoad): the minimum-score open replica, the
-// same one the next offload would most likely land on.
-func (m *MultiClient) best() (int, bool) {
+// queries (LinkEstimate, CloudLoad): the minimum weighted-score open
+// replica, the same one the next offload would most likely land on.
+func (m *MultiClient) best() (*replica, bool) {
 	m.mu.Lock()
 	now := m.now()
-	cands := make([]int, 0, len(m.replicas))
-	for i := range m.replicas {
-		if !now.Before(m.until[i]) {
-			cands = append(cands, i)
+	cands := make([]weighted, 0, len(m.replicas))
+	minEWMA := m.minServiceEWMALocked()
+	for _, r := range m.replicas {
+		if r.removed || now.Before(r.until) {
+			continue
 		}
+		cands = append(cands, weighted{r: r, w: m.serviceWeightLocked(r, minEWMA)})
 	}
 	m.mu.Unlock()
 	if len(cands) == 0 {
-		return 0, false
+		return nil, false
 	}
-	bestI := cands[0]
-	bestS := m.score(bestI)
-	for _, i := range cands[1:] {
-		if s := m.score(i); s < bestS {
-			bestI, bestS = i, s
+	bestC := cands[0]
+	bestS := m.score(bestC.r) * bestC.w
+	for _, c := range cands[1:] {
+		if s := m.score(c.r) * c.w; s < bestS {
+			bestC, bestS = c, s
 		}
 	}
-	return bestI, true
+	return bestC.r, true
 }
 
-// exclude opens (or extends — never shortens) replica i's exclusion window.
+// release lowers r's inflight count and closes the transport once a removed
+// replica has fully drained. The caller must NOT hold m.mu (the close talks
+// to the network).
+func (m *MultiClient) release(r *replica) {
+	m.mu.Lock()
+	r.inflight--
+	closeNow := r.removed && !r.closed && r.inflight == 0
+	if closeNow {
+		r.closed = true
+	}
+	m.mu.Unlock()
+	if closeNow {
+		r.client.Close()
+	}
+}
+
+// exclude opens (or extends — never shortens) replica r's exclusion window.
 // shedOrigin tracks whether the ACTIVE window consists of sheds only: the
 // all-replicas-excluded degradation is a zero-charge edge hold exactly when
 // the servers asked for silence, and a plain failure when transports died.
 // The caller holds m.mu.
-func (m *MultiClient) exclude(i int, d time.Duration, shedOrigin bool) {
+func (m *MultiClient) exclude(r *replica, d time.Duration, shedOrigin bool) {
 	now := m.now()
-	active := now.Before(m.until[i])
-	if until := now.Add(d); until.After(m.until[i]) {
-		m.until[i] = until
+	active := now.Before(r.until)
+	if until := now.Add(d); until.After(r.until) {
+		r.until = until
 	}
 	if active {
-		m.shedExcl[i] = m.shedExcl[i] && shedOrigin
+		r.shedExcl = r.shedExcl && shedOrigin
 	} else {
-		m.shedExcl[i] = shedOrigin
+		r.shedExcl = shedOrigin
 	}
 }
 
-// noteResult folds one routed call's outcome into replica i's counters and
-// exclusion state.
-func (m *MultiClient) noteResult(i int, err error) {
+// jobsAhead reads the replica's last piggybacked load snapshot — the queue
+// the next call will wait behind. Unknown load reads as an empty queue.
+func jobsAhead(c CloudClient) float64 {
+	if lr, ok := c.(LoadReporter); ok {
+		if st, ok := lr.CloudLoad(); ok {
+			return float64(st.QueueDepth) + float64(st.Active)
+		}
+	}
+	return 0
+}
+
+// noteResult folds one routed call's outcome into replica r's counters,
+// exclusion state and service-time estimate, then releases the inflight hold
+// pick took (closing a drained removed replica). ahead is the replica's
+// piggybacked load at dispatch time, used to de-queue the service sample.
+func (m *MultiClient) noteResult(r *replica, err error, svc time.Duration, ahead float64) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	switch {
 	case err == nil:
-		m.offloads[i]++
+		r.offloads++
+		if svc > 0 {
+			// Per-call service time of a successful call, inferred from the
+			// measured sojourn: with `ahead` jobs queued at dispatch on a
+			// serialized accelerator, the wall time spans ahead+1 service
+			// slots. Without the normalization a busy fast replica measures
+			// SLOWER than an idle straggler — the estimate would encode the
+			// queue it is supposed to be orthogonal to (the score's load
+			// term already charges for queueing). The first sample seeds the
+			// EWMA directly — decaying from zero would understate a slow
+			// replica for its first dozen calls.
+			if ahead < 0 {
+				ahead = 0
+			}
+			sample := svc.Seconds() / (1 + ahead)
+			if r.svcN == 0 {
+				r.svcEWMA = sample
+			} else {
+				a := m.cfg.ServiceAlpha
+				r.svcEWMA = (1-a)*r.svcEWMA + a*sample
+			}
+			r.svcN++
+		}
 	case errors.Is(err, ErrShed):
-		m.sheds[i]++
+		r.sheds++
 		ra := defaultShedRetryAfter
 		var se *ShedError
 		if errors.As(err, &se) && se.RetryAfter > 0 {
 			ra = se.RetryAfter
 		}
-		m.exclude(i, ra, true)
+		m.exclude(r, ra, true)
 	default:
-		m.failures[i]++
-		m.exclude(i, m.cfg.FailureExclusion, false)
+		r.failures++
+		m.exclude(r, m.cfg.FailureExclusion, false)
+	}
+	closeNow := false
+	r.inflight--
+	if r.removed && !r.closed && r.inflight == 0 {
+		r.closed = true
+		closeNow = true
+	}
+	m.mu.Unlock()
+	if closeNow {
+		r.client.Close()
 	}
 }
 
-// holdState reports when the earliest exclusion expires and whether every
-// replica's active exclusion is shed-origin.
-func (m *MultiClient) holdState() (reopen time.Duration, allShed bool) {
+// holdState reports when the earliest exclusion among the call-eligible
+// replicas expires and whether every such replica's active exclusion is
+// shed-origin. eligible counts the replicas considered at all — zero only
+// for a features-mode call against a fleet with no tail-capable replica
+// (open membership never drops to zero otherwise).
+func (m *MultiClient) holdState(needTail bool) (reopen time.Duration, allShed bool, eligible int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	now := m.now()
 	allShed = true
 	first := true
-	for i := range m.replicas {
-		if !now.Before(m.until[i]) {
+	for _, r := range m.replicas {
+		if r.removed {
+			continue
+		}
+		if needTail && !replicaTailCapable(r.client) {
+			continue
+		}
+		eligible++
+		if !now.Before(r.until) {
 			// An open replica: no hold at all (the caller raced an expiry;
 			// not a shed — the next call will route normally).
-			return 0, false
+			return 0, false, eligible
 		}
-		if !m.shedExcl[i] {
+		if !r.shedExcl {
 			allShed = false
 		}
-		if d := m.until[i].Sub(now); first || d < reopen {
+		if d := r.until.Sub(now); first || d < reopen {
 			reopen, first = d, false
 		}
 	}
-	return reopen, allShed
+	if eligible == 0 {
+		return 0, false, 0
+	}
+	return reopen, allShed, eligible
+}
+
+// clock reads the router's clock (the test hook lives behind m.mu).
+func (m *MultiClient) clock() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now()
 }
 
 // route tries replicas until one answers: pick, call, and on error exclude
-// and move on. When every replica is excluded (on entry or because this
-// call's attempts excluded the rest), the degraded-mode error depends on WHY:
-// all sheds → a ShedError whose RetryAfter spans the earliest reopen (the
-// runtime holds offloads with zero charges, exactly the single-cloud PR-5
-// behavior); any transport failure in the mix → a plain error (the instances
-// take the per-instance fallback with CloudFailed accounting).
-func (m *MultiClient) route(call func(c CloudClient) error) error {
-	tried := make([]bool, len(m.replicas))
+// and move on. When every eligible replica is excluded (on entry or because
+// this call's attempts excluded the rest), the degraded-mode error depends
+// on WHY: all sheds → a ShedError whose RetryAfter spans the earliest reopen
+// (the runtime holds offloads with zero charges, exactly the single-cloud
+// PR-5 behavior); any transport failure in the mix → a plain error (the
+// instances take the per-instance fallback with CloudFailed accounting). A
+// features-mode call against a fleet with no tail-capable replica fails with
+// a plain error immediately — a capability mismatch is a configuration
+// fact, not congestion, so it must not fabricate a zero-charge hold.
+func (m *MultiClient) route(needTail bool, call func(c CloudClient) error) error {
+	tried := make(map[*replica]bool)
 	var lastErr error
 	for {
-		i, ok := m.pick(tried)
+		r, ok := m.pick(tried, needTail)
 		if !ok {
 			break
 		}
-		err := call(m.replicas[i])
-		m.noteResult(i, err)
+		ahead := jobsAhead(r.client)
+		start := m.clock()
+		err := call(r.client)
+		m.noteResult(r, err, m.clock().Sub(start), ahead)
 		if err == nil {
 			return nil
 		}
-		tried[i] = true
+		tried[r] = true
 		lastErr = err
 	}
-	reopen, allShed := m.holdState()
+	reopen, allShed, eligible := m.holdState(needTail)
+	if eligible == 0 {
+		return errors.New("edge: no replica can carry the features mode (every open replica advertises no tail)")
+	}
 	if allShed {
-		// Every replica asked for silence: surface one shed covering the
-		// earliest reopen. Load is intentionally absent — the snapshots
+		// Every eligible replica asked for silence: surface one shed covering
+		// the earliest reopen. Load is intentionally absent — the snapshots
 		// belong to individual replicas, not the fleet.
 		return &ShedError{RetryAfter: reopen}
 	}
@@ -385,12 +740,12 @@ func (m *MultiClient) route(call func(c CloudClient) error) error {
 			// transport outage would silently stop billing failed attempts.
 			// %v, not %w: the shed identity must not leak through.
 			return fmt.Errorf("edge: sheds and transport failures across all %d replicas (last: %v)",
-				len(m.replicas), lastErr)
+				eligible, lastErr)
 		}
 		return lastErr
 	}
 	return fmt.Errorf("edge: all %d replicas excluded after transport failures (next retry in %v)",
-		len(m.replicas), reopen.Round(time.Millisecond))
+		eligible, reopen.Round(time.Millisecond))
 }
 
 // splitSamples views an NCHW batch as per-sample CHW tensors (the slow path
@@ -405,7 +760,7 @@ func splitSamples(batch *tensor.Tensor) []*tensor.Tensor {
 
 // Classify routes one raw image to a replica.
 func (m *MultiClient) Classify(img *tensor.Tensor) (pred int, conf float64, err error) {
-	err = m.route(func(c CloudClient) error {
+	err = m.route(false, func(c CloudClient) error {
 		var e error
 		pred, conf, e = c.Classify(img)
 		return e
@@ -417,7 +772,7 @@ func (m *MultiClient) Classify(img *tensor.Tensor) (pred int, conf float64, err 
 // ONE replica — splitting a batch would turn one round trip into several and
 // defeat the server-side batched forward).
 func (m *MultiClient) ClassifyBatch(imgs []*tensor.Tensor) (preds []int, confs []float64, err error) {
-	err = m.route(func(c CloudClient) error {
+	err = m.route(false, func(c CloudClient) error {
 		var e error
 		preds, confs, e = c.ClassifyBatch(imgs)
 		return e
@@ -425,11 +780,12 @@ func (m *MultiClient) ClassifyBatch(imgs []*tensor.Tensor) (preds []int, confs [
 	return preds, confs, err
 }
 
-// ClassifyFeaturesBatch routes one feature batch to a replica. Replicas
-// should be uniformly tail-equipped: a tail-less replica answers with an
-// error, which the router treats as a failure (exclusion + failover).
+// ClassifyFeaturesBatch routes one feature batch to a tail-capable replica.
+// Capability-aware: replicas that advertised no tail in their MsgHello
+// handshake are skipped, not burned — the call fails only when no capable
+// replica can answer, never merely because an incapable one was sampled.
 func (m *MultiClient) ClassifyFeaturesBatch(feats []*tensor.Tensor) (preds []int, confs []float64, err error) {
-	err = m.route(func(c CloudClient) error {
+	err = m.route(true, func(c CloudClient) error {
 		fc, ok := c.(FeatureCloudClient)
 		if !ok {
 			return errors.New("edge: replica cannot carry features")
@@ -445,7 +801,7 @@ func (m *MultiClient) ClassifyFeaturesBatch(feats []*tensor.Tensor) (preds []int
 // the routed replica without re-splitting when that replica also has the
 // fast path.
 func (m *MultiClient) classifyStacked(batch *tensor.Tensor) (preds []int, confs []float64, err error) {
-	err = m.route(func(c CloudClient) error {
+	err = m.route(false, func(c CloudClient) error {
 		var e error
 		if sc, ok := c.(stackedBatchClient); ok {
 			preds, confs, e = sc.classifyStacked(batch)
@@ -457,9 +813,10 @@ func (m *MultiClient) classifyStacked(batch *tensor.Tensor) (preds []int, confs 
 	return preds, confs, err
 }
 
-// classifyFeaturesStacked is classifyStacked for the features mode.
+// classifyFeaturesStacked is classifyStacked for the features mode — like
+// ClassifyFeaturesBatch, it only samples tail-capable replicas.
 func (m *MultiClient) classifyFeaturesStacked(batch *tensor.Tensor) (preds []int, confs []float64, err error) {
-	err = m.route(func(c CloudClient) error {
+	err = m.route(true, func(c CloudClient) error {
 		if sc, ok := c.(stackedFeatureBatchClient); ok {
 			var e error
 			preds, confs, e = sc.classifyFeaturesStacked(batch)
@@ -480,11 +837,11 @@ func (m *MultiClient) classifyFeaturesStacked(batch *tensor.Tensor) (preds []int
 // the next offload would use, which is what the runtime's budget controller
 // and auto mode need to predict with.
 func (m *MultiClient) LinkEstimate() linkest.Estimate {
-	i, ok := m.best()
+	r, ok := m.best()
 	if !ok {
 		return linkest.Estimate{}
 	}
-	if le, ok := m.replicas[i].(LinkEstimator); ok {
+	if le, ok := r.client.(LinkEstimator); ok {
 		return le.LinkEstimate()
 	}
 	return linkest.Estimate{}
@@ -492,31 +849,38 @@ func (m *MultiClient) LinkEstimate() linkest.Estimate {
 
 // CloudLoad reports the best open replica's piggybacked load snapshot.
 func (m *MultiClient) CloudLoad() (protocol.LoadStatus, bool) {
-	i, ok := m.best()
+	r, ok := m.best()
 	if !ok {
 		return protocol.LoadStatus{}, false
 	}
-	if lr, ok := m.replicas[i].(LoadReporter); ok {
+	if lr, ok := r.client.(LoadReporter); ok {
 		return lr.CloudLoad()
 	}
 	return protocol.LoadStatus{}, false
 }
 
-// Sheds reports the total shed replies observed across all replicas.
+// Sheds reports the total shed replies observed across all replicas
+// (removed ones included — their history happened).
 func (m *MultiClient) Sheds() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var n uint64
-	for _, s := range m.sheds {
-		n += s
+	for _, r := range m.replicas {
+		n += r.sheds
 	}
 	return n
 }
 
 // BytesSent sums the replicas' wire-byte counters.
 func (m *MultiClient) BytesSent() uint64 {
+	m.mu.Lock()
+	clients := make([]CloudClient, 0, len(m.replicas))
+	for _, r := range m.replicas {
+		clients = append(clients, r.client)
+	}
+	m.mu.Unlock()
 	var n uint64
-	for _, c := range m.replicas {
+	for _, c := range clients {
 		if bc, ok := c.(interface{ BytesSent() uint64 }); ok {
 			n += bc.BytesSent()
 		}
@@ -524,48 +888,96 @@ func (m *MultiClient) BytesSent() uint64 {
 	return n
 }
 
-// Ping verifies every replica end to end (startup health check); the errors
-// of dead replicas are joined.
+// Ping answers whether the fleet can serve the next offload: it probes the
+// replicas route would actually consider — open, not removed, not inside an
+// exclusion window — and succeeds as soon as one of them pongs. Excluded
+// replicas are ignored the same way best() ignores them: a dead-but-excluded
+// replica must not report a healthy fleet as down, and an all-excluded fleet
+// is reported down even when its transports would still pong.
 func (m *MultiClient) Ping() error {
-	var errs []error
-	for i, c := range m.replicas {
-		if p, ok := c.(interface{ Ping() error }); ok {
-			if err := p.Ping(); err != nil {
-				errs = append(errs, fmt.Errorf("replica %s: %w", m.addrs[i], err))
-			}
+	m.mu.Lock()
+	now := m.now()
+	type target struct {
+		c    CloudClient
+		addr string
+	}
+	var open []target
+	for _, r := range m.replicas {
+		if r.removed || now.Before(r.until) {
+			continue
 		}
+		open = append(open, target{c: r.client, addr: r.addr})
+	}
+	m.mu.Unlock()
+	if len(open) == 0 {
+		return errors.New("edge: every replica is excluded or removed")
+	}
+	var errs []error
+	for _, t := range open {
+		p, ok := t.c.(interface{ Ping() error })
+		if !ok {
+			// A transport without a health probe counts as healthy — the
+			// in-process client has no wire to verify.
+			return nil
+		}
+		if err := p.Ping(); err != nil {
+			errs = append(errs, fmt.Errorf("replica %s: %w", t.addr, err))
+			continue
+		}
+		return nil
 	}
 	return errors.Join(errs...)
 }
 
-// ReplicaStats snapshots the per-replica accounting.
+// ReplicaStats snapshots the per-replica accounting. Removed replicas keep
+// their rows (flagged Removed) — membership changes never erase history, so
+// fleet-level sums stay exact across joins and leaves.
 func (m *MultiClient) ReplicaStats() []ReplicaStats {
 	m.mu.Lock()
 	now := m.now()
 	out := make([]ReplicaStats, len(m.replicas))
-	for i := range m.replicas {
+	clients := make([]CloudClient, len(m.replicas))
+	for i, r := range m.replicas {
 		out[i] = ReplicaStats{
-			Addr:     m.addrs[i],
-			Offloads: m.offloads[i],
-			Sheds:    m.sheds[i],
-			Failures: m.failures[i],
-			Excluded: now.Before(m.until[i]),
+			Addr:     r.addr,
+			Offloads: r.offloads,
+			Sheds:    r.sheds,
+			Failures: r.failures,
+			Excluded: now.Before(r.until),
+			Removed:  r.removed,
 		}
+		clients[i] = r.client
 	}
 	m.mu.Unlock()
-	for i, c := range m.replicas {
+	for i, c := range clients {
 		if bc, ok := c.(interface{ BytesSent() uint64 }); ok {
 			out[i].BytesSent = bc.BytesSent()
+		}
+		if cr, ok := c.(CapabilityReporter); ok {
+			if caps, known := cr.Capabilities(); known {
+				out[i].CapsKnown = true
+				out[i].TailCapable = caps.TailCapable
+				out[i].MaxBatch = caps.MaxBatch
+			}
 		}
 	}
 	return out
 }
 
-// Close closes every replica transport; the first error wins but all are
-// closed.
+// Close closes every replica transport (removed-but-draining ones included);
+// the first error wins but all are closed.
 func (m *MultiClient) Close() error {
+	m.mu.Lock()
+	var toClose []CloudClient
+	for _, r := range m.replicas {
+		if !r.closed {
+			r.closed = true
+			toClose = append(toClose, r.client)
+		}
+	}
+	m.mu.Unlock()
 	var first error
-	for _, c := range m.replicas {
+	for _, c := range toClose {
 		if err := c.Close(); err != nil && first == nil {
 			first = err
 		}

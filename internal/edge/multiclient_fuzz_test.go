@@ -37,6 +37,11 @@ func FuzzMultiRoute(f *testing.F) {
 	f.Add([]byte{0x00, 0x1b, 0x10, 0xe4, 0x40, 0x00, 0x05, 0xff})
 	f.Add([]byte{0xaa, 0xaa, 0xaa, 0xaa, 0x55, 0x55})
 	f.Add([]byte{})
+	// Regression: a transport failure on replica 0 followed by sheds on the
+	// last open replicas in the SAME routed call — the synthesized error must
+	// stay non-shed, and later sheds must never shorten the failure window
+	// (step 2 runs all-excluded, step 3 reopens only the shed replicas).
+	f.Add([]byte{0x00, 0xab, 0x05, 0x00, 0x1e, 0xa8})
 	f.Fuzz(func(t *testing.T, script []byte) {
 		const n = 4
 		log := &routeLog{}

@@ -213,10 +213,11 @@ func TestMultiP2CNeverPicksExcluded(t *testing.T) {
 		t.Fatalf("exclusion state wrong after shed+failure: %+v", stats)
 	}
 	for i := 0; i < 500; i++ {
-		got, ok := m.pick(nil)
-		if !ok || got != 1 {
-			t.Fatalf("pick %d chose replica %d (ok=%v), want the only open replica 1", i, got, ok)
+		got, ok := m.pick(nil, false)
+		if !ok || got.addr != "10.0.0.1:9400" {
+			t.Fatalf("pick %d chose replica %+v (ok=%v), want the only open replica 1", i, got, ok)
 		}
+		m.release(got) // pick raises the inflight hold; callers must pair it
 	}
 }
 
@@ -416,6 +417,10 @@ func TestSplitAddrs(t *testing.T) {
 		{"a:1,b:2", 2},
 		{" a:1 , b:2 ,", 2},
 		{",,", 0},
+		// Duplicates collapse onto the first occurrence: two connections to
+		// one server would skew p2c sampling and split its accounting.
+		{"a:1,a:1", 1},
+		{"a:1, a:1 ,b:2,a:1", 2},
 	}
 	for _, c := range cases {
 		if got := SplitAddrs(c.in); len(got) != c.want {
@@ -433,5 +438,11 @@ func TestNewMultiClientValidation(t *testing.T) {
 	}
 	if _, err := NewMultiClient([]CloudClient{nil}, nil, MultiConfig{}); err == nil {
 		t.Fatal("nil replica accepted")
+	}
+	if _, err := NewMultiClient(
+		[]CloudClient{&scriptReplica{}, &scriptReplica{}},
+		[]string{"a:1", "a:1"}, MultiConfig{},
+	); err == nil {
+		t.Fatal("duplicate replica addrs accepted")
 	}
 }

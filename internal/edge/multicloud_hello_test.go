@@ -1,0 +1,139 @@
+package edge_test
+
+// End-to-end tests of the MsgHello capability handshake over real TCP: a
+// dialed client learns the server's capabilities, DialMultiCloud learns
+// every replica's, and features-mode routing over a mixed fleet never burns
+// a call on the tail-less replica.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/meanet/meanet/internal/cloud"
+	"github.com/meanet/meanet/internal/core"
+	"github.com/meanet/meanet/internal/edge"
+	"github.com/meanet/meanet/internal/models"
+	"github.com/meanet/meanet/internal/nn"
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+// TestHelloHandshakeTCP: Capabilities is unknown before the handshake and
+// reflects the server's tail and batch collector after it.
+func TestHelloHandshakeTCP(t *testing.T) {
+	cls := buildCloudModel(t, 7)
+	srv, err := cloud.NewServer(cls, nil,
+		cloud.WithBatching(cloud.BatchConfig{MaxBatch: 8, Linger: 5 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := edge.DialCloud(srv.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, known := client.Capabilities(); known {
+		t.Fatal("capabilities known before any handshake")
+	}
+	caps, err := client.Hello()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caps.TailCapable || caps.MaxBatch != 8 {
+		t.Fatalf("tail-less batched server advertised %+v", caps)
+	}
+	if got, known := client.Capabilities(); !known || got != caps {
+		t.Fatalf("handshake not cached: %+v known=%v", got, known)
+	}
+}
+
+// TestMultiCloudCapabilityRoutingTCP drives a mixed fleet — one tail-less
+// raw server, one tail-equipped server — through DialMultiCloud: the
+// handshake fills the capability matrix, and every features-mode call lands
+// on the capable replica (the acceptance criterion: a features call never
+// fails solely because a sampled replica lacks a tail).
+func TestMultiCloudCapabilityRoutingTCP(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	backbone, err := models.BuildResNet(rng, models.ResNetSpec{
+		Name: "hellofleet", InChannels: 3, StemChannels: 4,
+		Channels: []int{4, 8}, Blocks: []int{1, 1}, Strides: []int{2, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.BuildMEANetA(rng, backbone, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := &cloud.Tail{Body: nn.Identity{}, Exit: models.NewExit(rng, "hellotail", m.MainOutChannels(), 4)}
+	tailSrv, err := cloud.NewServer(cloud.Partitioned(m.Main, tail), tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tailSrv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer tailSrv.Close()
+	rawSrv, err := cloud.NewServer(buildCloudModel(t, 8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rawSrv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer rawSrv.Close()
+
+	mc, err := edge.DialMultiCloud(
+		[]string{rawSrv.Addr().String(), tailSrv.Addr().String()},
+		edge.DialConfig{}, edge.MultiConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+
+	feats := make([]*tensor.Tensor, 2)
+	for i := range feats {
+		feats[i] = tensor.Randn(rng, 1, m.MainOutChannels(), 8, 8)
+	}
+	for i := 0; i < 6; i++ {
+		if _, _, err := mc.ClassifyFeaturesBatch(feats); err != nil {
+			t.Fatalf("features call %d on the mixed fleet: %v", i, err)
+		}
+	}
+	if n := rawSrv.Stats().InstancesServed; n != 0 {
+		t.Fatalf("tail-less server classified %d instances of features traffic", n)
+	}
+	if n := tailSrv.Stats().InstancesServed; n != 6*uint64(len(feats)) {
+		t.Fatalf("tail server classified %d instances, want %d", n, 6*len(feats))
+	}
+
+	var sawRaw, sawTail bool
+	for _, st := range mc.ReplicaStats() {
+		if !st.CapsKnown {
+			t.Fatalf("handshake missing for %s: %+v", st.Addr, st)
+		}
+		switch st.Addr {
+		case rawSrv.Addr().String():
+			sawRaw = true
+			if st.TailCapable {
+				t.Fatalf("raw server advertised a tail: %+v", st)
+			}
+			if st.Failures != 0 {
+				t.Fatalf("features routing burned failures on the tail-less replica: %+v", st)
+			}
+		case tailSrv.Addr().String():
+			sawTail = true
+			if !st.TailCapable {
+				t.Fatalf("tail server advertised no tail: %+v", st)
+			}
+		}
+	}
+	if !sawRaw || !sawTail {
+		t.Fatalf("capability matrix incomplete: %+v", mc.ReplicaStats())
+	}
+}

@@ -42,6 +42,7 @@ func Runners() []Runner {
 		{"adaptive-link", wrap(AdaptiveLink)},
 		{"fleet-shedding", wrap(FleetShedding)},
 		{"fleet-replicas", wrap(FleetReplicas)},
+		{"fleet-weighted", wrap(FleetWeighted)},
 		{"ablation-combine", wrap(AblationCombine)},
 		{"ablation-optimization", wrap(AblationOptimization)},
 		{"ablation-detector", wrap(AblationDetector)},

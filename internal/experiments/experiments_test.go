@@ -354,8 +354,8 @@ func TestRunOneUnknownName(t *testing.T) {
 
 func TestNamesComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 20 {
-		t.Fatalf("have %d experiments, want 20", len(names))
+	if len(names) != 21 {
+		t.Fatalf("have %d experiments, want 21", len(names))
 	}
 	seen := map[string]bool{}
 	for _, n := range names {
@@ -364,7 +364,7 @@ func TestNamesComplete(t *testing.T) {
 		}
 		seen[n] = true
 	}
-	for _, want := range []string{"fig7", "table2", "table6", "offload-modes", "fleet-shedding", "fleet-replicas", "ablation-combine"} {
+	for _, want := range []string{"fig7", "table2", "table6", "offload-modes", "fleet-shedding", "fleet-replicas", "fleet-weighted", "ablation-combine"} {
 		if !seen[want] {
 			t.Fatalf("experiment %q missing", want)
 		}
@@ -583,6 +583,58 @@ func TestFleetReplicasScaling(t *testing.T) {
 				t.Fatalf("replica %d of %d starved: %+v", rep, row.Replicas, row.Offloads)
 			}
 		}
+	}
+	if testing.Verbose() {
+		t.Log("\n" + r.String())
+	}
+}
+
+// TestFleetWeightedRouting is the heterogeneous-fleet acceptance test: over
+// 2 fast + 1 slow replicas, the learned service-time weighting must strictly
+// beat uniform p2c on aggregate throughput, and it must do so the honest way
+// — by sending the straggler a smaller share of the round trips.
+func TestFleetWeightedRouting(t *testing.T) {
+	skipPaperScale(t)
+	r, err := FleetWeighted(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, ok := r.Row("uniform")
+	if !ok {
+		t.Fatal("no uniform row")
+	}
+	weighted, ok := r.Row("weighted")
+	if !ok {
+		t.Fatal("no weighted row")
+	}
+	for _, row := range []FleetWeightedRow{uniform, weighted} {
+		if len(row.Offloads) != 3 {
+			t.Fatalf("%s row reports %d per-replica counters, want 3", row.Policy, len(row.Offloads))
+		}
+		var total uint64
+		for _, o := range row.Offloads {
+			total += o
+		}
+		if want := uint64(r.Workers * r.Batches); total != want {
+			t.Fatalf("%s row answered %d round trips, want %d", row.Policy, total, want)
+		}
+	}
+	// The acceptance bar: weighted routing strictly beats uniform p2c on
+	// aggregate images/s over the SAME uneven fleet.
+	if weighted.ImagesPerSec <= uniform.ImagesPerSec {
+		t.Fatalf("weighted routing no faster than uniform: %.0f vs %.0f images/s (slow share %.1f%% vs %.1f%%)",
+			weighted.ImagesPerSec, uniform.ImagesPerSec,
+			100*weighted.SlowShare(), 100*uniform.SlowShare())
+	}
+	// And it wins by starving the straggler, not by luck: the slow replica's
+	// share of round trips must shrink, while both fast replicas still carry
+	// load (down-weighting is not pinning).
+	if weighted.SlowShare() >= uniform.SlowShare() {
+		t.Fatalf("weighted routing did not cut the straggler's share: %.1f%% vs %.1f%%",
+			100*weighted.SlowShare(), 100*uniform.SlowShare())
+	}
+	if weighted.Offloads[0] == 0 || weighted.Offloads[1] == 0 {
+		t.Fatalf("a fast replica starved under weighted routing: %+v", weighted.Offloads)
 	}
 	if testing.Verbose() {
 		t.Log("\n" + r.String())

@@ -72,6 +72,13 @@ type Config struct {
 	// per-edge router seed is decorrelated across edges on top of Multi.Seed
 	// so the fleet's power-of-two choices don't sample in lockstep.
 	Multi edge.MultiConfig
+	// Membership, when non-nil, runs in its own goroutine per edge next to
+	// the classify loop, holding that edge's replica router — the hook the
+	// join/leave soak uses to add and remove replicas mid-run. done closes
+	// when the edge's last batch finishes, and the harness waits for the
+	// hook to return before closing the client, so membership calls never
+	// race a closed router. Multi-replica runs only (requires ≥ 2 Addrs).
+	Membership func(i int, mc *edge.MultiClient, done <-chan struct{})
 	// ClientConfig is the base TCP client configuration (per-edge Redial is
 	// installed on top).
 	ClientConfig edge.DialConfig
@@ -112,6 +119,9 @@ func (c *Config) validate() error {
 	}
 	if c.Labels != nil && len(c.Labels) != c.Input.Dim(0) {
 		return fmt.Errorf("fleet: %d labels for %d input rows", len(c.Labels), c.Input.Dim(0))
+	}
+	if c.Membership != nil && len(c.Addrs) < 2 {
+		return errors.New("fleet: Membership needs a multi-replica run (≥ 2 Addrs)")
 	}
 	return nil
 }
@@ -259,6 +269,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Edges: results, Elapsed: elapsed}
+	// Replica totals are keyed by address, not row index: with live
+	// membership the per-edge stat tables are append-only and may differ
+	// across edges (a replica removed and re-added keeps its historical row
+	// and gains a fresh one), so the same address is summed wherever it
+	// appears. Order is first-seen.
+	replicaRow := make(map[string]int)
 	for i := range results {
 		rep := &results[i].Report
 		cloudServed := rep.Exits[core.ExitCloud]
@@ -277,8 +293,11 @@ func Run(cfg Config) (*Result, error) {
 		res.ShedEvents += rep.ShedEvents
 		res.CloudFailures += rep.CloudFailures
 		res.Correct += results[i].Correct
-		for r, st := range rep.Replicas {
-			if r >= len(res.Replicas) {
+		for _, st := range rep.Replicas {
+			r, ok := replicaRow[st.Addr]
+			if !ok {
+				r = len(res.Replicas)
+				replicaRow[st.Addr] = r
 				res.Replicas = append(res.Replicas, ReplicaTotals{Addr: st.Addr})
 			}
 			res.Replicas[r].Offloads += st.Offloads
@@ -316,6 +335,7 @@ func runEdge(cfg *Config, i int) (EdgeResult, error) {
 		clients = append(clients, edge.NewClientOnConn(conn, ccfg))
 	}
 	var client edge.CloudClient
+	var mc *edge.MultiClient
 	if nrep == 1 {
 		client = clients[0]
 	} else {
@@ -323,7 +343,8 @@ func runEdge(cfg *Config, i int) (EdgeResult, error) {
 		// Decorrelate the edges' routers: same scenario, independent
 		// tie-breaks, so p2c does not sample in fleet-wide lockstep.
 		mcfg.Seed += int64(i) * 7919
-		mc, err := edge.NewMultiClient(clients, cfg.Addrs, mcfg)
+		var err error
+		mc, err = edge.NewMultiClient(clients, cfg.Addrs, mcfg)
 		if err != nil {
 			closeAll()
 			return EdgeResult{}, err
@@ -331,6 +352,21 @@ func runEdge(cfg *Config, i int) (EdgeResult, error) {
 		client = mc
 	}
 	defer client.Close()
+	if mc != nil && cfg.Membership != nil {
+		// Registered after the Close defer, so (LIFO) the hook is stopped
+		// before the router it holds is closed.
+		done := make(chan struct{})
+		var memWG sync.WaitGroup
+		memWG.Add(1)
+		go func() {
+			defer memWG.Done()
+			cfg.Membership(i, mc, done)
+		}()
+		defer func() {
+			close(done)
+			memWG.Wait()
+		}()
+	}
 
 	rt, err := edge.NewRuntime(cfg.Net, cfg.Policy, client, cfg.Cost)
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -221,6 +222,183 @@ func TestFleetMultiReplicaSoakKillOne(t *testing.T) {
 		if r == victim {
 			continue // already closed by the kill
 		}
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkNoGoroutineLeaks(t, goroutinesBefore)
+}
+
+// replicaOffloads reads one replica's offload counter from the router's
+// stat table (0 if the address has no row yet).
+func replicaOffloads(mc *edge.MultiClient, addr string) uint64 {
+	var n uint64
+	for _, st := range mc.ReplicaStats() {
+		if st.Addr == addr {
+			n += st.Offloads
+		}
+	}
+	return n
+}
+
+// TestFleetMultiReplicaSoakJoinLeave is the live-membership soak: every edge
+// starts on 2 of 3 shedding replicas, joins the third once its own router
+// demonstrably carries traffic, and then REMOVES the first replica while
+// batches are still in flight. All three servers stay up for the whole run,
+// so unlike the kill-one soak the edge-vs-server books must agree EXACTLY:
+// removal drains instead of aborting, no instance is lost, duplicated or
+// failed, and the removed replica's historical counters survive in both the
+// per-edge stat tables and the fleet aggregate.
+func TestFleetMultiReplicaSoakJoinLeave(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+	m, cls, x, cost := fleetFixture(t, 5)
+	servers, addrs := startReplicas(t, 3, func(int) (*cloud.Server, error) {
+		return cloud.NewServer(
+			&SlowModel{Inner: cls, Delay: time.Millisecond},
+			nil,
+			cloud.WithShedding(cloud.ShedPolicy{MaxInFlight: 3, RetryAfter: 5 * time.Millisecond}),
+		)
+	})
+	joinAddr, leaveAddr := addrs[2], addrs[0]
+
+	edges, batches := 6, 30
+	if testing.Short() {
+		edges, batches = 4, 14
+	}
+	batches *= soakScale()
+
+	dialCfg := edge.DialConfig{
+		RequestTimeout: 2 * time.Second,
+		RedialBackoff:  2 * time.Millisecond,
+	}
+	var joins, leaves atomic.Int64
+	res, err := Run(Config{
+		Addrs:   addrs[:2],
+		Edges:   edges,
+		Batches: batches,
+		Net:     m,
+		Policy:  core.Policy{Threshold: 0.25, UseCloud: true, CloudRetries: 2},
+		Cost:    cost,
+		Input:   x,
+		Membership: func(i int, mc *edge.MultiClient, done <-chan struct{}) {
+			waitFor := func(cond func() bool) bool {
+				for !cond() {
+					select {
+					case <-done:
+						return false
+					case <-time.After(time.Millisecond):
+					}
+				}
+				return true
+			}
+			// Join once the replica that will later leave has carried at
+			// least one offload — membership changes land on a warmed-up,
+			// mid-run fleet, and the departed row provably has history.
+			if !waitFor(func() bool { return replicaOffloads(mc, leaveAddr) > 0 }) {
+				t.Errorf("edge %d finished before replica %s carried an offload", i, leaveAddr)
+				return
+			}
+			c, err := edge.DialCloud(joinAddr, dialCfg)
+			if err != nil {
+				t.Errorf("edge %d: dial joining replica: %v", i, err)
+				return
+			}
+			if err := mc.AddReplica(c, joinAddr); err != nil {
+				c.Close()
+				t.Errorf("edge %d: join: %v", i, err)
+				return
+			}
+			joins.Add(1)
+			// Leave only after the newcomer demonstrably serves — the removal
+			// happens while all three replicas are live and loaded.
+			if !waitFor(func() bool { return replicaOffloads(mc, joinAddr) > 0 }) {
+				t.Errorf("edge %d finished before the joined replica served", i)
+				return
+			}
+			if err := mc.RemoveReplica(leaveAddr); err != nil {
+				t.Errorf("edge %d: leave: %v", i, err)
+				return
+			}
+			leaves.Add(1)
+		},
+		ClientConfig: dialCfg,
+		Adapt:        &edge.AdaptConfig{MaxThreshold: 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joins.Load() != int64(edges) || leaves.Load() != int64(edges) {
+		t.Fatalf("membership choreography incomplete: %d joins / %d leaves on %d edges",
+			joins.Load(), leaves.Load(), edges)
+	}
+
+	total := edges * batches * x.Dim(0)
+	if res.Instances != total {
+		t.Fatalf("fleet classified %d instances, fed %d", res.Instances, total)
+	}
+	if got := res.EdgeServed + res.CloudServed + res.ShedFallbacks; got != total {
+		t.Fatalf("accounting identity broken: %d edge + %d cloud + %d shed = %d, want %d",
+			res.EdgeServed, res.CloudServed, res.ShedFallbacks, got, total)
+	}
+	if res.CloudServed == 0 {
+		t.Fatal("no cloud service at all")
+	}
+	// Every server stayed up and removal drains, so there is no excuse for a
+	// single transport failure — and the edge-side cloud exits must equal the
+	// servers' served totals instance for instance.
+	if res.CloudFailures != 0 {
+		t.Fatalf("membership churn produced %d cloud failures on a healthy fleet", res.CloudFailures)
+	}
+	var served uint64
+	for _, srv := range servers {
+		served += srv.Stats().InstancesServed
+	}
+	if served != uint64(res.CloudServed) {
+		t.Fatalf("servers served %d instances, edges counted %d cloud exits", served, res.CloudServed)
+	}
+	if len(res.Replicas) != 3 {
+		t.Fatalf("aggregated %d replicas, want 3: %+v", len(res.Replicas), res.Replicas)
+	}
+	for _, rt := range res.Replicas {
+		if rt.Failures != 0 {
+			t.Fatalf("replica %s saw transport failures on a healthy fleet: %+v", rt.Addr, res.Replicas)
+		}
+		if rt.Offloads == 0 {
+			t.Fatalf("replica %s carried no offloads across the whole fleet: %+v", rt.Addr, res.Replicas)
+		}
+	}
+	// Satellite: the removed replica's history survives membership changes —
+	// every edge's stat table still carries the drained replica's row, marked
+	// removed, counters intact; the joined replica has a live row next to it.
+	for _, er := range res.Edges {
+		var sawRemoved, sawJoined bool
+		for _, st := range er.Report.Replicas {
+			switch st.Addr {
+			case leaveAddr:
+				sawRemoved = true
+				if !st.Removed {
+					t.Fatalf("edge %d: departed replica not marked removed: %+v", er.Index, st)
+				}
+				if st.Offloads == 0 {
+					t.Fatalf("edge %d: departed replica lost its history: %+v", er.Index, st)
+				}
+			case joinAddr:
+				sawJoined = true
+				if st.Removed {
+					t.Fatalf("edge %d: joined replica marked removed: %+v", er.Index, st)
+				}
+			}
+		}
+		if !sawRemoved || !sawJoined {
+			t.Fatalf("edge %d stat table misses membership rows (removed %v, joined %v): %+v",
+				er.Index, sawRemoved, sawJoined, er.Report.Replicas)
+		}
+	}
+	t.Logf("join/leave soak: %d edges × %d batches in %v (%.0f img/s): %d edge / %d cloud / %d shed-fallback; replicas %+v",
+		edges, batches, res.Elapsed.Round(time.Millisecond), res.ImagesPerSec,
+		res.EdgeServed, res.CloudServed, res.ShedFallbacks, res.Replicas)
+
+	for _, srv := range servers {
 		if err := srv.Close(); err != nil {
 			t.Fatal(err)
 		}

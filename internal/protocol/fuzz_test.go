@@ -25,7 +25,7 @@ import (
 // frameTypes lists every message type, including the batch frames.
 var frameTypes = []MsgType{
 	MsgClassifyRaw, MsgClassifyFeat, MsgResult, MsgError, MsgPing, MsgPong,
-	MsgClassifyBatch, MsgResultBatch, MsgClassifyFeatBatch,
+	MsgClassifyBatch, MsgResultBatch, MsgClassifyFeatBatch, MsgShed, MsgHello,
 }
 
 func FuzzFrameRoundTrip(f *testing.F) {
@@ -284,6 +284,27 @@ func FuzzDecodeShed(f *testing.F) {
 		if !bytes.Equal(back, data) {
 			t.Fatalf("accepted shed payload is not canonical (%d vs %d bytes, hasLoad %v)",
 				len(back), len(data), hasLoad)
+		}
+	})
+}
+
+// FuzzDecodeHello feeds arbitrary bytes into the capability-handshake
+// decoder: accepted payloads must re-encode canonically (the layout has one
+// flags byte, so unknown bits are rejected rather than silently dropped —
+// re-encoding would otherwise lose them and break canonicity).
+func FuzzDecodeHello(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeHello(Capabilities{}))
+	f.Add(EncodeHello(Capabilities{TailCapable: true, MaxBatch: 8}))
+	f.Add(EncodeHello(Capabilities{MaxBatch: math.MaxUint32}))
+	f.Add([]byte{0xff, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		caps, err := DecodeHello(data)
+		if err != nil {
+			return
+		}
+		if got := EncodeHello(caps); !bytes.Equal(got, data) {
+			t.Fatalf("accepted hello payload is not canonical (% x vs % x)", got, data)
 		}
 	})
 }

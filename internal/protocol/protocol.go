@@ -31,6 +31,7 @@ const (
 	MsgResultBatch                          // payload: uint32 count + count results
 	MsgClassifyFeatBatch                    // payload: batched feature tensor [N,C,H,W]
 	MsgShed                                 // payload: uint64 retry-after nanos (+ optional LoadStatus)
+	MsgHello                                // request: empty; reply payload: Capabilities
 )
 
 // String names the message type.
@@ -56,6 +57,8 @@ func (t MsgType) String() string {
 		return "classify-features-batch"
 	case MsgShed:
 		return "shed"
+	case MsgHello:
+		return "hello"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -323,6 +326,64 @@ func DecodeShed(b []byte) (retryAfter time.Duration, st LoadStatus, hasLoad bool
 			len(b), shedBaseLen, shedBaseLen+loadStatusLen)
 	}
 	return time.Duration(binary.LittleEndian.Uint64(b)), st, hasLoad, nil
+}
+
+// Capabilities is what a replica advertises in its MsgHello reply: the
+// fixed facts about this server an edge router needs before the first
+// offload. The handshake replaces discovery-by-failure — without it, an edge
+// only learns a replica has no feature tail by burning a features call on an
+// error reply (and excluding a perfectly healthy replica for it).
+type Capabilities struct {
+	// TailCapable reports whether the server carries a partitioned-network
+	// feature tail, i.e. whether classify-features(-batch) frames can succeed
+	// here. A capability-aware router never samples a tail-less replica for a
+	// features-mode call.
+	TailCapable bool
+	// MaxBatch is the server's micro-batch collector size (0 when batching is
+	// off) — advisory: a hint for client-side batch sizing, not a limit the
+	// server enforces on client-assembled batch frames.
+	MaxBatch uint32
+}
+
+// helloLen is the wire size of a MsgHello reply payload.
+const helloLen = 5
+
+// helloTailFlag is the TailCapable bit in the hello flags byte.
+const helloTailFlag = 1 << 0
+
+// EncodeHello serializes a MsgHello reply payload: one flags byte (bit 0 =
+// tail-capable) followed by the uint32 micro-batch size. A MsgHello REQUEST
+// carries an empty payload — the client has nothing to advertise yet; the
+// frame exists so a replica can announce itself to the router at connect
+// instead of being pre-configured. An old server answers the unknown type
+// with MsgError, which a new edge treats as "capabilities unknown" (route
+// optimistically, as before the handshake existed); an old edge simply never
+// sends MsgHello, so the frame is invisible to it.
+func EncodeHello(c Capabilities) []byte {
+	out := make([]byte, helloLen)
+	if c.TailCapable {
+		out[0] |= helloTailFlag
+	}
+	binary.LittleEndian.PutUint32(out[1:], c.MaxBatch)
+	return out
+}
+
+// DecodeHello reverses EncodeHello, validating the payload exactly. Unknown
+// flag bits are rejected rather than ignored: a frame with bits this decoder
+// does not know is from a NEWER peer, and silently dropping its advertised
+// capabilities would let the router make stale assumptions — the caller
+// treats the error like a legacy server (capabilities unknown) instead.
+func DecodeHello(b []byte) (Capabilities, error) {
+	if len(b) != helloLen {
+		return Capabilities{}, fmt.Errorf("protocol: hello payload length %d, want %d", len(b), helloLen)
+	}
+	if b[0]&^helloTailFlag != 0 {
+		return Capabilities{}, fmt.Errorf("protocol: unknown hello flags %#x", b[0])
+	}
+	return Capabilities{
+		TailCapable: b[0]&helloTailFlag != 0,
+		MaxBatch:    binary.LittleEndian.Uint32(b[1:]),
+	}, nil
 }
 
 // DecodeResultLoad decodes a MsgResult payload with or without the trailing
