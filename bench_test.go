@@ -29,6 +29,7 @@ import (
 	"github.com/meanet/meanet/internal/netsim"
 	"github.com/meanet/meanet/internal/netsim/fleet"
 	"github.com/meanet/meanet/internal/nn"
+	"github.com/meanet/meanet/internal/profile"
 	"github.com/meanet/meanet/internal/protocol"
 	"github.com/meanet/meanet/internal/tensor"
 )
@@ -685,6 +686,93 @@ func BenchmarkFleetWeighted(b *testing.B) {
 	}
 	b.Run("uniform", func(b *testing.B) { run(b, true) })
 	b.Run("weighted", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkPipelinePartition measures the multi-hop relay path end to end:
+// a serving chain cut by the placement solver into a 3-hop pipeline (edge
+// stage → two TCP stage servers behind shaped links) against the direct
+// edge→cloud raw offload of the whole chain. Stages are zero-cpu shape
+// stands with serialized solver-derived delays, so the images/s gap between
+// the subs is the pipelining headroom the solver predicted, not host noise.
+// Each op drives one fixed open-loop load through a persistent chain.
+func BenchmarkPipelinePartition(b *testing.B) {
+	const chainCompute = 4 * time.Millisecond
+	const workers, total, classes = 8, 32, 5
+	rng := rand.New(rand.NewSource(71))
+	backbone, err := models.BuildResNet(rng, models.ResNetSpec{
+		Name: "benchchain", InChannels: 3, StemChannels: 4,
+		Channels: []int{4, 8}, Blocks: []int{1, 1}, Strides: []int{1, 2},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cls := models.NewClassifier(rng, backbone, classes)
+	chain := core.FlattenChain(cls.Backbone, cls.Exit)
+	in := profile.Shape{C: 3, H: 12, W: 12}
+	probe, err := profile.LocalPlacement(chain, in, profile.Device{Name: "probe", MACsPerSec: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rate := float64(probe.Stages[0].Cost.MACs) / chainCompute.Seconds()
+	devices := []profile.Device{
+		{Name: "edge", MACsPerSec: rate},
+		{Name: "hop1", MACsPerSec: rate},
+		{Name: "hop2", MACsPerSec: rate},
+	}
+	uplink := netsim.Link{Latency: time.Millisecond, Mbps: 20}
+	interlink := netsim.Link{Latency: 500 * time.Microsecond, Mbps: 200}
+	pipe, err := profile.PlacePipeline(chain, in, devices, []netsim.Link{uplink, interlink})
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := tensor.Randn(rng, 1, in.C, in.H, in.W)
+	stageDelay := func(i int) time.Duration {
+		return time.Duration(pipe.Stages[i].ComputeSec * float64(time.Second))
+	}
+
+	measure := func(b *testing.B, hops []fleet.ChainHop, local *fleet.SlowStage) {
+		b.Helper()
+		ch, err := fleet.StartChain(hops)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ch.Close()
+		next, err := edge.DialCloud(ch.Addr(), edge.DialConfig{Link: uplink})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var localStage nn.Layer
+		if local != nil { // a typed-nil *SlowStage would read as a present stage
+			localStage = local
+		}
+		client, err := edge.NewChainClient(localStage, next, 0)
+		if err != nil {
+			next.Close()
+			b.Fatal(err)
+		}
+		defer client.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := fleet.RunChainLoad(client, img, workers, total); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(total*b.N)/b.Elapsed().Seconds(), "images/s")
+	}
+
+	b.Run("direct", func(b *testing.B) {
+		measure(b, []fleet.ChainHop{{
+			Stage: &fleet.SlowStage{Inner: fleet.ShapeStage{Dims: []int{classes}}, Delay: chainCompute},
+		}}, nil)
+	})
+	b.Run("pipeline3", func(b *testing.B) {
+		mid := pipe.Stages[1].Out
+		measure(b, []fleet.ChainHop{
+			{Stage: &fleet.SlowStage{Inner: fleet.ShapeStage{Dims: []int{mid.C, mid.H, mid.W}}, Delay: stageDelay(1)}, Link: interlink},
+			{Stage: &fleet.SlowStage{Inner: fleet.ShapeStage{Dims: []int{classes}}, Delay: stageDelay(2)}},
+		}, &fleet.SlowStage{Inner: fleet.ShapeStage{Dims: []int{pipe.Stages[0].Out.C, pipe.Stages[0].Out.H, pipe.Stages[0].Out.W}}, Delay: stageDelay(0)})
+	})
 }
 
 func BenchmarkProtocolTensorRoundTrip(b *testing.B) {

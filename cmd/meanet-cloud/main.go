@@ -8,6 +8,7 @@
 //	             [-seed N] [-epochs N] [-weights FILE] [-save FILE]
 //	             [-batch N] [-linger DUR] [-tail] [-variant A|B]
 //	             [-shed-queue N] [-shed-inflight N] [-shed-retry-after DUR]
+//	             [-stage K -cuts C1,C2,... [-downstream host:port]]
 //
 // -batch enables server-side micro-batching: up to N concurrent classify
 // requests (from any number of edge connections) are coalesced into one
@@ -32,6 +33,16 @@
 // feature maps, and answers classify-features(-batch) requests with it. The
 // edge can then offload feature tensors (-offload features|auto) instead of
 // raw pixels.
+//
+// -stage K serves hop K of a multi-hop partitioned deployment (requires
+// -cuts, the comma-separated cut points over the serving chain — the same
+// value every hop and the edge must agree on). The server trains the same
+// partitioned model as -tail, answers relay frames by running its stage of
+// the chain, and — unless it is the terminal hop (K == number of cuts) —
+// forwards the stage outputs to the next hop at -downstream. Stage servers
+// still serve raw and feature uploads, so a chain hop can double as an
+// ordinary replica. Predictions through the chain are bitwise identical to
+// the monolithic partitioned model.
 //
 // The companion meanet-edge command, started with the same -dataset, -scale,
 // -seed and -variant, generates the identical synthetic dataset and offloads
@@ -65,6 +76,7 @@ import (
 	"github.com/meanet/meanet/internal/core"
 	"github.com/meanet/meanet/internal/data"
 	"github.com/meanet/meanet/internal/deploy"
+	"github.com/meanet/meanet/internal/edge"
 	"github.com/meanet/meanet/internal/models"
 )
 
@@ -91,8 +103,18 @@ func run(args []string) error {
 	shedQueue := fs.Int64("shed-queue", 0, "shed classify requests while the collector queue holds at least this many (0 = off)")
 	shedInflight := fs.Int64("shed-inflight", 0, "shed classify requests while at least this many dispatches are in flight (0 = off)")
 	shedRetryAfter := fs.Duration("shed-retry-after", 0, "retry-after hint carried in shed frames (0 = default 50ms)")
+	stageIdx := fs.Int("stage", -1, "serve stage K of the multi-hop partitioned chain (requires -cuts; -1 = off)")
+	cutsFlag := fs.String("cuts", "", "comma-separated cut points over the serving chain (with -stage; all hops and the edge must agree)")
+	downstreamAddr := fs.String("downstream", "", "next hop address for relayed activations (non-terminal stages only)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	stageMode := *stageIdx >= 0
+	if stageMode && *cutsFlag == "" {
+		return fmt.Errorf("-stage needs -cuts: the chain's cut points define what stage %d runs", *stageIdx)
+	}
+	if !stageMode && (*cutsFlag != "" || *downstreamAddr != "") {
+		return fmt.Errorf("-cuts/-downstream only apply to stage servers (-stage K)")
 	}
 	shed := cloud.ShedPolicy{MaxQueue: *shedQueue, MaxInFlight: *shedInflight, RetryAfter: *shedRetryAfter}
 	if *shedQueue < 0 || *shedInflight < 0 {
@@ -110,15 +132,16 @@ func run(args []string) error {
 		return err
 	}
 
-	// Partitioned deployment: with -tail the server's raw model is the
-	// composition tail∘main of the replayed edge main block — raw and
-	// feature uploads answer bitwise identically, which is what makes the
-	// edge's -offload auto a pure communication trade. The standalone cloud
-	// CNN (and its -weights/-save persistence) belongs to the
-	// non-partitioned deployment only.
-	if *tailMode {
+	// Partitioned deployment: with -tail (or -stage, which partitions the
+	// same model further) the server's raw model is the composition tail∘main
+	// of the replayed edge main block — raw and feature uploads answer
+	// bitwise identically, which is what makes the edge's -offload auto a
+	// pure communication trade. The standalone cloud CNN (and its
+	// -weights/-save persistence) belongs to the non-partitioned deployment
+	// only.
+	if *tailMode || stageMode {
 		if *weights != "" || *save != "" {
-			return fmt.Errorf("-weights/-save persist the standalone cloud CNN and are incompatible with -tail")
+			return fmt.Errorf("-weights/-save persist the standalone cloud CNN and are incompatible with -tail/-stage")
 		}
 		spec := deploy.EdgeSpec{
 			Dataset: *dataset, Scale: scale, Seed: *seed, Variant: *variant,
@@ -145,7 +168,48 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "partitioned model test accuracy: %.2f%%\n", 100*acc)
-		return serve(raw, tail, *addr, *dataset, synth.Train.NumClasses, *batch, *linger, shed)
+
+		// Stage mode: cut the serving chain exactly as the edge and the other
+		// hops do (same deterministic construction, same -cuts), keep this
+		// hop's stage, and forward downstream unless terminal. The raw/tail
+		// models stay mounted — a stage hop can double as a plain replica.
+		var stageDesc string
+		var opts []cloud.Option
+		if stageMode {
+			chain := deploy.ServingChain(m, tail)
+			cuts, err := deploy.ParseCuts(*cutsFlag)
+			if err != nil {
+				return err
+			}
+			stages, err := core.Partition(chain, cuts)
+			if err != nil {
+				return err
+			}
+			if *stageIdx >= len(stages) {
+				return fmt.Errorf("-stage %d out of range: %d cuts make stages 0..%d", *stageIdx, len(cuts), len(stages)-1)
+			}
+			cfg := cloud.StageConfig{Stage: stages[*stageIdx]}
+			terminal := *stageIdx == len(cuts)
+			if terminal {
+				if *downstreamAddr != "" {
+					return fmt.Errorf("-downstream on the terminal stage %d: the last hop answers results itself", *stageIdx)
+				}
+				stageDesc = fmt.Sprintf("terminal stage %d/%d of chain cut at %v", *stageIdx, len(stages)-1, cuts)
+			} else {
+				if *downstreamAddr == "" {
+					return fmt.Errorf("stage %d is not terminal (%d cuts): -downstream must name the next hop", *stageIdx, len(cuts))
+				}
+				down, err := edge.DialCloud(*downstreamAddr, edge.DialConfig{})
+				if err != nil {
+					return fmt.Errorf("dial downstream %s: %w", *downstreamAddr, err)
+				}
+				defer down.Close()
+				cfg.Downstream = down
+				stageDesc = fmt.Sprintf("stage %d/%d of chain cut at %v, downstream %s", *stageIdx, len(stages)-1, cuts, *downstreamAddr)
+			}
+			opts = append(opts, cloud.WithStage(cfg))
+		}
+		return serve(raw, tail, *addr, *dataset, synth.Train.NumClasses, *batch, *linger, shed, stageDesc, opts...)
 	}
 
 	rng := rand.New(rand.NewSource(*seed + 500))
@@ -204,12 +268,14 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "cloud model test accuracy: %.2f%%\n", 100*cm.Accuracy())
-	return serve(cls, nil, *addr, *dataset, synth.Train.NumClasses, *batch, *linger, shed)
+	return serve(cls, nil, *addr, *dataset, synth.Train.NumClasses, *batch, *linger, shed, "")
 }
 
 // serve runs the TCP server until interrupted and prints shutdown stats.
-func serve(raw cloud.Model, tail *cloud.Tail, addr, dataset string, classes, batch int, linger time.Duration, shed cloud.ShedPolicy) error {
-	var opts []cloud.Option
+// stageDesc describes the server's chain role ("" = not a stage hop); extra
+// carries the stage option when set.
+func serve(raw cloud.Model, tail *cloud.Tail, addr, dataset string, classes, batch int, linger time.Duration, shed cloud.ShedPolicy, stageDesc string, extra ...cloud.Option) error {
+	opts := extra
 	if batch > 0 {
 		opts = append(opts, cloud.WithBatching(cloud.BatchConfig{MaxBatch: batch, Linger: linger}))
 	}
@@ -230,6 +296,9 @@ func serve(raw cloud.Model, tail *cloud.Tail, addr, dataset string, classes, bat
 	}
 	if tail != nil {
 		mode += ", partitioned features tail"
+	}
+	if stageDesc != "" {
+		mode += ", " + stageDesc
 	}
 	if shedding {
 		mode += fmt.Sprintf(", shedding at queue %d / in-flight %d", shed.MaxQueue, shed.MaxInFlight)

@@ -10,7 +10,8 @@
 //	            [-variant A|B] [-latency 10ms] [-mbps 18.88] [-batch N]
 //	            [-offload raw|features|auto] [-retries N]
 //	            [-latency-budget 20ms] [-adapt-min-samples N]
-//	            [-admin host:port]
+//	            [-admin host:port] [-cuts C1,C2,...]
+//	            [-plan -plan-rates R0,R1,... -plan-links M@L,...]
 //
 // Start meanet-cloud first with the same -dataset, -scale, -seed and
 // -variant so both ends agree on the synthetic dataset, class count and —
@@ -54,6 +55,21 @@
 // replica advertised in its MsgHello handshake (tail-capable, batch limit;
 // "caps unknown" for legacy servers, which are routed optimistically).
 //
+// -cuts joins a multi-hop partitioned deployment: the serving chain is cut
+// at the given points (the SAME -cuts every meanet-cloud -stage hop was
+// started with), the edge runs stage 0 — the main-block units before the
+// first cut — locally, and offloaded instances relay stage activations
+// through the chain instead of raw pixels. Requires exactly one -cloud
+// address (the first stage hop) and -offload raw; predictions are bitwise
+// identical to the single-hop deployment.
+//
+// -plan runs the placement solver instead of serving: given per-device
+// compute rates (-plan-rates, MACs/s, first device is the edge) and the
+// links between consecutive devices (-plan-links, "Mbps@latency" per hop),
+// it prints the throughput-maximizing cut chain — the -cuts/-stage values to
+// start the deployment with — next to the all-edge and direct-offload
+// predictions, then exits without training or serving.
+//
 // -admin (multi-replica runs only) opens a line-based TCP control socket for
 // live membership while the test set streams: "add host:port" dials a new
 // replica with the run's transport settings and joins it to the router,
@@ -69,15 +85,19 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"github.com/meanet/meanet/internal/cloud"
 	"github.com/meanet/meanet/internal/core"
+	"github.com/meanet/meanet/internal/data"
 	"github.com/meanet/meanet/internal/deploy"
 	"github.com/meanet/meanet/internal/edge"
 	"github.com/meanet/meanet/internal/energy"
 	"github.com/meanet/meanet/internal/netsim"
+	"github.com/meanet/meanet/internal/nn"
 	"github.com/meanet/meanet/internal/profile"
 	"github.com/meanet/meanet/internal/tensor"
 )
@@ -105,6 +125,10 @@ func run(args []string) error {
 	budget := fs.Duration("latency-budget", 0, "per-offload cloud latency budget for closed-loop adaptation (0 = off)")
 	minSamples := fs.Int("adapt-min-samples", 0, "round trips before live link estimates drive adaptation (0 = default 8)")
 	adminAddr := fs.String("admin", "", "listen address for the membership control socket: add/remove/list replicas mid-run (multi-replica only)")
+	cutsFlag := fs.String("cuts", "", "multi-hop partitioning: serving-chain cut points; the edge runs the units before the first cut and relays activations (single -cloud address, -offload raw)")
+	plan := fs.Bool("plan", false, "run the placement solver over the serving chain and exit (needs -plan-rates and -plan-links)")
+	planRates := fs.String("plan-rates", "", "per-device compute rates in MACs/s, comma-separated, first device is the edge (with -plan)")
+	planLinks := fs.String("plan-links", "", "per-hop links as Mbps@latency (e.g. 7@1ms,200@500us), comma-separated (with -plan)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -140,6 +164,16 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	// Planning mode: the solver only reads the chain's layer geometry, so it
+	// runs on the untrained networks and exits before any training.
+	if *plan {
+		return planPlacement(m, synth, *planRates, *planLinks)
+	}
+	if *planRates != "" || *planLinks != "" {
+		return fmt.Errorf("-plan-rates/-plan-links only apply with -plan")
+	}
+
 	start := time.Now()
 	tm, err := deploy.TrainMain(spec, m, synth)
 	if err != nil {
@@ -194,6 +228,35 @@ func run(args []string) error {
 			}
 		}
 		fmt.Fprintf(os.Stderr, "connected to %d cloud replica(s): %s\n", len(addrs), strings.Join(addrs, ", "))
+	}
+
+	// Multi-hop partitioning: wrap the transport in a chain client running
+	// the edge's own stage of the cut chain; offloads relay activations
+	// through the stage servers instead of shipping raw pixels.
+	if *cutsFlag != "" {
+		if len(addrs) != 1 {
+			return fmt.Errorf("-cuts needs exactly one -cloud address (the first stage hop), got %d", len(addrs))
+		}
+		if mode != edge.OffloadRaw {
+			return fmt.Errorf("-cuts relays stage activations through the chain; only -offload raw applies")
+		}
+		cuts, err := deploy.ParseCuts(*cutsFlag)
+		if err != nil {
+			return err
+		}
+		flat := core.FlattenChain(m.Main)
+		if int(cuts[0]) > len(flat) {
+			return fmt.Errorf("first cut %d is past the edge main block (%d units): the edge can only run main-block units locally",
+				cuts[0], len(flat))
+		}
+		local := nn.NewSequential("edge-stage0", flat[:cuts[0]]...)
+		cc, err := edge.NewChainClient(local, client.(*edge.TCPClient), 0)
+		if err != nil {
+			return err
+		}
+		client = cc
+		fmt.Fprintf(os.Stderr, "multi-hop chain: edge runs units [0,%d) locally, relaying to %s (cuts %v)\n",
+			cuts[0], addrs[0], cuts)
 	}
 	if *adminAddr != "" {
 		if mc == nil {
@@ -429,6 +492,109 @@ func capsString(rs edge.ReplicaStats) string {
 		tail = "tail"
 	}
 	return fmt.Sprintf("%s, max batch %d", tail, rs.MaxBatch)
+}
+
+// planPlacement runs the placement solver over the untrained serving chain
+// and prints the throughput-maximizing cut chain next to the all-edge and
+// direct-offload predictions.
+func planPlacement(m *core.MEANet, synth *data.Synth, ratesFlag, linksFlag string) error {
+	if ratesFlag == "" || linksFlag == "" {
+		return fmt.Errorf("-plan needs -plan-rates (MACs/s per device) and -plan-links (Mbps@latency per hop)")
+	}
+	devices, err := parseRates(ratesFlag)
+	if err != nil {
+		return err
+	}
+	links, err := parseLinks(linksFlag)
+	if err != nil {
+		return err
+	}
+	// The untrained tail has the deployment's exact geometry; weights do not
+	// enter the cost model.
+	cls, err := deploy.BuildTailNet(rand.New(rand.NewSource(1)), m.MainOutChannels(), synth.Train.NumClasses)
+	if err != nil {
+		return err
+	}
+	tail := &cloud.Tail{Body: cls.Backbone, Exit: cls.Exit}
+	chain := deploy.ServingChain(m, tail)
+	in := profile.Shape{C: synth.Train.C, H: synth.Train.H, W: synth.Train.W}
+
+	pipe, err := profile.PlacePipeline(chain, in, devices, links)
+	if err != nil {
+		return err
+	}
+	local, err := profile.LocalPlacement(chain, in, devices[0])
+	if err != nil {
+		return err
+	}
+	cutStrs := make([]string, len(pipe.Cuts))
+	for i, c := range pipe.Cuts {
+		cutStrs[i] = fmt.Sprint(int(c))
+	}
+	fmt.Printf("placement over the %d-unit serving chain across %d device(s):\n", len(chain), len(devices))
+	fmt.Printf("  pipeline:  %.1f images/s predicted, cuts %s (bottleneck: %s)\n",
+		pipe.Throughput, strings.Join(cutStrs, ","), pipe.Bottleneck)
+	fmt.Printf("  all-edge:  %.1f images/s predicted\n", local.Throughput)
+	if len(devices) >= 2 {
+		direct, err := profile.DirectPlacement(chain, in, links[0], devices[0], devices[len(devices)-1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  direct:    %.1f images/s predicted (raw upload, whole chain on %s)\n",
+			direct.Throughput, devices[len(devices)-1].Name)
+	}
+	fmt.Printf("stage plan:\n")
+	for i, st := range pipe.Stages {
+		fmt.Printf("  stage %d on %-8s units [%d,%d)  %8.2f MMACs  compute %6.2fms  transfer %6.2fms  %d wire bytes\n",
+			i, st.Device, st.From, st.To, float64(st.Cost.MACs)/1e6,
+			1000*st.ComputeSec, 1000*st.TransferSec, st.WireBytes)
+	}
+	if len(pipe.Cuts) > 0 {
+		fmt.Printf("deploy with: meanet-edge -cuts %[1]s and meanet-cloud -stage K -cuts %[1]s per hop K=1..%d\n",
+			strings.Join(cutStrs, ","), len(pipe.Cuts))
+	}
+	return nil
+}
+
+// parseRates parses the -plan-rates device list: MACs/s per device, first
+// device is the edge.
+func parseRates(s string) ([]profile.Device, error) {
+	var devices []profile.Device
+	for i, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -plan-rates entry %q: %w", part, err)
+		}
+		name := fmt.Sprintf("hop%d", i)
+		if i == 0 {
+			name = "edge"
+		}
+		devices = append(devices, profile.Device{Name: name, MACsPerSec: v})
+	}
+	return devices, nil
+}
+
+// parseLinks parses the -plan-links hop list: each entry is Mbps@latency
+// ("7@1ms"), ordered edge→hop1, hop1→hop2, ...
+func parseLinks(s string) ([]netsim.Link, error) {
+	var links []netsim.Link
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		mbpsStr, latStr, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad -plan-links entry %q (want Mbps@latency, e.g. 7@1ms)", part)
+		}
+		mbps, err := strconv.ParseFloat(mbpsStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -plan-links bandwidth %q: %w", mbpsStr, err)
+		}
+		lat, err := time.ParseDuration(latStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad -plan-links latency %q: %w", latStr, err)
+		}
+		links = append(links, netsim.Link{Latency: lat, Mbps: mbps})
+	}
+	return links, nil
 }
 
 func progress(what string) func(int, float64) {

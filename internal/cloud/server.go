@@ -87,6 +87,10 @@ type Stats struct {
 	// frames add their batch size), the unit the edge runtimes account in —
 	// Requests counts frames, which under batching says little about volume.
 	InstancesServed uint64
+	// Relayed counts the instances a non-terminal stage server forwarded
+	// downstream (terminal hops count theirs in InstancesServed instead —
+	// the two never double-count one instance at one hop).
+	Relayed uint64
 }
 
 // ShedPolicy bounds the load the server ACCEPTS: while either limit is hit,
@@ -127,6 +131,12 @@ type Server struct {
 	featBatch *batcher    // features-mode collector; nil unless batching and feat are both on
 	shedPol   *ShedPolicy // nil when admission control is disabled
 
+	// Stage-server mode (WithStage): all three are fixed before Listen and
+	// read-only afterwards, like raw/feat above.
+	stage         nn.Layer   // chain stage served on MsgRelay; nil = stage mode off
+	downstream    Downstream // next hop transport; nil = terminal hop
+	stageInflight int        // per-connection relay dispatch bound
+
 	mu     sync.Mutex // guards ln, conns, closed
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
@@ -142,6 +152,7 @@ type Server struct {
 	inflight   atomic.Int64  // requests currently being dispatched
 	sheds      atomic.Uint64 // classify frames refused by admission control
 	instServed atomic.Uint64 // instances classified (batch frames count their size)
+	relayed    atomic.Uint64 // instances forwarded downstream by a non-terminal stage
 }
 
 // Option configures optional server behaviour.
@@ -177,14 +188,16 @@ func (s *Server) featLogits(x *tensor.Tensor) *tensor.Tensor { return s.feat.Log
 
 // NewServer builds a server around a raw-image model (typically a
 // *models.Classifier, or cloud.Partitioned for a partitioned deployment).
-// tail may be nil.
+// tail may be nil. raw may be nil ONLY for a pure stage server (WithStage):
+// such a hop serves relay frames and answers raw classify frames with an
+// error, like a tail-less server answers features frames.
 func NewServer(raw Model, tail *Tail, opts ...Option) (*Server, error) {
-	if raw == nil {
-		return nil, errors.New("cloud: nil classifier")
-	}
 	s := &Server{raw: raw, feat: tail, conns: make(map[net.Conn]struct{})}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if s.raw == nil && s.stage == nil {
+		return nil, errors.New("cloud: nil classifier")
 	}
 	return s, nil
 }
@@ -246,6 +259,7 @@ func (s *Server) Stats() Stats {
 	st.QueueDepth = int64(s.loadStatus().QueueDepth)
 	st.Sheds = s.sheds.Load()
 	st.InstancesServed = s.instServed.Load()
+	st.Relayed = s.relayed.Load()
 	return st
 }
 
@@ -373,6 +387,15 @@ func (s *Server) handleConn(conn net.Conn) {
 	if s.batch != nil {
 		inflight = make(chan struct{}, 2*s.batch.cfg.MaxBatch)
 	}
+	// Relay dispatches get their own concurrency bound: a non-terminal hop
+	// blocks on its downstream round trip, so running relays inline would
+	// stall this connection's read loop and collapse chain pipelining to
+	// lockstep — while sharing the collector's inflight channel would let
+	// slow relays starve micro-batch fills (and vice versa).
+	var relayInflight chan struct{}
+	if s.stage != nil {
+		relayInflight = make(chan struct{}, s.stageInflight)
+	}
 	writeResp := func(resp protocol.Frame) {
 		wmu.Lock()
 		defer wmu.Unlock()
@@ -416,6 +439,20 @@ func (s *Server) handleConn(conn net.Conn) {
 			})
 			continue
 		}
+		if f.Type == protocol.MsgRelay && s.stage != nil {
+			// Keep reading while the stage (and any downstream hops) work on
+			// this batch, so one pipelined upstream connection keeps every
+			// hop of the chain busy at once. Same wait-group safety argument
+			// as the collector path below.
+			relayInflight <- struct{}{}
+			s.wg.Add(1)
+			go func(f protocol.Frame) {
+				defer s.wg.Done()
+				defer func() { <-relayInflight }()
+				writeResp(s.dispatch(f))
+			}(f)
+			continue
+		}
 		collected := f.Type == protocol.MsgClassifyRaw && s.batch != nil ||
 			f.Type == protocol.MsgClassifyFeat && s.featBatch != nil
 		if collected {
@@ -450,10 +487,15 @@ func (s *Server) capabilities() protocol.Capabilities {
 
 // isClassify reports whether a frame type carries classification work — the
 // frames admission control may shed (pings and unknown types never are).
+// Relay frames carry exactly one stage of classification work, so a
+// saturated hop sheds them like any other classify; the shed propagates back
+// along the chain as a downstream error and the edge falls back per
+// instance.
 func isClassify(t protocol.MsgType) bool {
 	switch t {
 	case protocol.MsgClassifyRaw, protocol.MsgClassifyFeat,
-		protocol.MsgClassifyBatch, protocol.MsgClassifyFeatBatch:
+		protocol.MsgClassifyBatch, protocol.MsgClassifyFeatBatch,
+		protocol.MsgRelay:
 		return true
 	default:
 		return false
@@ -475,6 +517,9 @@ func (s *Server) dispatch(f protocol.Frame) protocol.Frame {
 		// replica under pressure must still be able to introduce itself.
 		return protocol.Frame{Type: protocol.MsgHello, ID: f.ID, Payload: protocol.EncodeHello(s.capabilities())}
 	case protocol.MsgClassifyRaw:
+		if s.raw == nil {
+			return errorFrame(f.ID, "raw mode not supported by this server (stage-only hop)")
+		}
 		if s.batch != nil {
 			return s.classifyCollected(s.batch, f)
 		}
@@ -488,12 +533,23 @@ func (s *Server) dispatch(f protocol.Frame) protocol.Frame {
 		}
 		return s.classify(f, s.featLogits)
 	case protocol.MsgClassifyBatch:
+		if s.raw == nil {
+			return errorFrame(f.ID, "raw mode not supported by this server (stage-only hop)")
+		}
 		return s.classifyBatchFrame(f, s.rawLogits)
 	case protocol.MsgClassifyFeatBatch:
 		if s.feat == nil {
 			return errorFrame(f.ID, "features mode not supported by this server")
 		}
 		return s.classifyBatchFrame(f, s.featLogits)
+	case protocol.MsgRelay:
+		if s.stage == nil {
+			// The stage-mode analogue of the MsgHello legacy contract: a
+			// server without a configured stage (or predating the frame
+			// entirely) answers MsgError, and the chain client surfaces it.
+			return errorFrame(f.ID, "stage mode not supported by this server")
+		}
+		return s.relayFrame(f)
 	default:
 		return errorFrame(f.ID, fmt.Sprintf("unsupported message type %s", f.Type))
 	}

@@ -1,0 +1,128 @@
+package cloud
+
+// Stage-server mode: a server configured with WithStage participates in a
+// multi-hop partitioned deployment (core.Partition). It accepts MsgRelay
+// frames carrying an NCHW activation batch, runs its stage of the chain, and
+// either forwards the stage outputs to the next hop through a Downstream
+// transport or — at the terminal hop — argmaxes the logits and answers with
+// the usual MsgResultBatch (the SAME post-processing as classifyBatchFrame,
+// so chained predictions are bitwise identical to the monolithic forward).
+// Results from downstream propagate back along the chain; every hop stamps
+// its own LoadStatus on the reply, so the upstream transport's per-hop link
+// estimation and backpressure signals keep working unchanged.
+
+import (
+	"fmt"
+
+	"github.com/meanet/meanet/internal/nn"
+	"github.com/meanet/meanet/internal/protocol"
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+// Downstream is the transport a non-terminal stage server forwards
+// activations through. *edge.TCPClient satisfies it (RelayActivations), so a
+// chain hop reuses the full edge transport stack — pipelining, redial with
+// backoff, per-hop link estimation — for its own downstream leg. The server
+// package deliberately depends only on this interface, never on the edge
+// package.
+type Downstream interface {
+	RelayActivations(batch *tensor.Tensor, ttl uint8) ([]protocol.Result, error)
+}
+
+// StageConfig configures a server's role in a relay chain.
+type StageConfig struct {
+	// Stage is the chain stage this hop runs (required; typically one of the
+	// *nn.Sequential stages core.Partition returns).
+	Stage nn.Layer
+	// Downstream, when non-nil, receives this stage's output activations;
+	// nil marks the terminal hop, which converts logits to results itself.
+	Downstream Downstream
+	// MaxInFlight bounds concurrent relay dispatches per connection
+	// (default 16). Relay dispatches run concurrently — a non-terminal hop
+	// BLOCKS on its downstream round trip, and handling relays inline would
+	// stall the connection's read loop and collapse chain pipelining to
+	// lockstep — so the bound is what turns a fast upstream into TCP
+	// backpressure instead of an unbounded goroutine/tensor backlog.
+	MaxInFlight int
+}
+
+func (c *StageConfig) fillDefaults() {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 16
+	}
+}
+
+// WithStage enables stage-server mode: MsgRelay frames run cfg.Stage and
+// forward downstream (or terminate the chain). A server may combine a stage
+// with raw/tail models and serve all frame types; a pure relay hop passes
+// nil models to NewServer.
+func WithStage(cfg StageConfig) Option {
+	cfg.fillDefaults()
+	return func(s *Server) {
+		s.stage = cfg.Stage
+		s.downstream = cfg.Downstream
+		s.stageInflight = cfg.MaxInFlight
+	}
+}
+
+// stageForward runs the stage on an NCHW activation batch in eval mode.
+func (s *Server) stageForward(x *tensor.Tensor) *tensor.Tensor { return s.stage.Forward(x, false) }
+
+// relayFrame serves one MsgRelay frame: decode the activation batch, run the
+// stage, then either answer with terminal results or forward downstream and
+// relay the answers back. Reached only with a stage configured (dispatch
+// answers MsgError otherwise, the legacy-server contract).
+func (s *Server) relayFrame(f protocol.Frame) protocol.Frame {
+	ttl, t, err := protocol.DecodeActivation(f.Payload)
+	if err != nil {
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, err.Error())
+	}
+	if t.Dims() != 4 {
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, fmt.Sprintf("expected NCHW activation tensor, got rank %d", t.Dims()))
+	}
+	if s.downstream != nil && ttl == 0 {
+		// The TTL guards against relay cycles (a chain misconfigured into a
+		// loop would otherwise circulate frames forever): refuse to forward
+		// rather than decrement below zero.
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, "relay TTL exhausted (chain cycle or more hops than the sender allowed)")
+	}
+	out, err := safeLogits(s.stageForward, t)
+	if err != nil {
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, err.Error())
+	}
+	n := t.Dim(0)
+	var results []protocol.Result
+	if s.downstream == nil {
+		// Terminal hop: identical post-processing to classifyBatchFrame, so a
+		// chained forward answers bitwise like the monolithic server would.
+		results = make([]protocol.Result, n)
+		for i := range results {
+			pred, conf := argmaxRow(out.Row(i))
+			results[i] = protocol.Result{Pred: int32(pred), Conf: conf}
+		}
+		s.instServed.Add(uint64(n))
+	} else {
+		results, err = s.downstream.RelayActivations(out, ttl-1)
+		if err != nil {
+			// Any downstream failure — transport death, a shed, a legacy next
+			// hop — surfaces to the upstream as an error frame; the chain
+			// client maps it onto its instances, which fall back to the edge.
+			s.errorCount.Add(1)
+			return errorFrame(f.ID, fmt.Sprintf("downstream relay: %v", err))
+		}
+		if len(results) != n {
+			s.errorCount.Add(1)
+			return errorFrame(f.ID, fmt.Sprintf("downstream returned %d results for %d instances", len(results), n))
+		}
+		s.relayed.Add(uint64(n))
+	}
+	return protocol.Frame{
+		Type:    protocol.MsgResultBatch,
+		ID:      f.ID,
+		Payload: protocol.EncodeResultsLoad(results, s.loadStatus()),
+	}
+}

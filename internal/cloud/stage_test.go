@@ -1,0 +1,178 @@
+package cloud
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/meanet/meanet/internal/core"
+	"github.com/meanet/meanet/internal/edge"
+	"github.com/meanet/meanet/internal/nn"
+	"github.com/meanet/meanet/internal/protocol"
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+// startStageServer brings up one stage hop on loopback.
+func startStageServer(t *testing.T, stage nn.Layer, down Downstream) *Server {
+	t.Helper()
+	s, err := NewServer(nil, nil, WithStage(StageConfig{Stage: stage, Downstream: down}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func dialHop(t *testing.T, s *Server) *edge.TCPClient {
+	t.Helper()
+	c, err := edge.DialCloud(s.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestStageChainMatchesMonolithic relays a batch through a two-hop stage
+// chain and checks predictions AND confidences bitwise against the in-process
+// monolithic forward — the stages reuse the classifier's own layer objects,
+// so any drift would be a serving-path bug, not numerics.
+func TestStageChainMatchesMonolithic(t *testing.T) {
+	cls := testClassifier(t, 41)
+	chain := core.FlattenChain(cls.Backbone, cls.Exit)
+	if len(chain) < 3 {
+		t.Fatalf("test chain too short to cut: %d units", len(chain))
+	}
+	stages, err := core.Partition(chain, []core.CutPoint{core.CutPoint(len(chain) / 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	terminal := startStageServer(t, stages[1], nil)
+	first := startStageServer(t, stages[0], dialHop(t, terminal))
+	client := dialHop(t, first)
+
+	rng := rand.New(rand.NewSource(42))
+	batch := tensor.Randn(rng, 1, 4, 3, 8, 8)
+	rs, err := client.RelayActivations(batch, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("%d results for 4 instances", len(rs))
+	}
+	logits := cls.Logits(batch, false)
+	for i, r := range rs {
+		// The contract is chain == monolithic POST-PROCESSED output, so the
+		// reference goes through the server's own argmax helper.
+		p, c := argmaxRow(logits.Row(i))
+		wantPred, wantConf := int32(p), c
+		if r.Pred != wantPred || r.Conf != wantConf {
+			t.Fatalf("row %d: chain gave %d/%v, monolithic %d/%v", i, r.Pred, r.Conf, wantPred, wantConf)
+		}
+	}
+
+	// Accounting: the first hop forwarded, the terminal hop served.
+	if st := first.Stats(); st.Relayed != 4 || st.InstancesServed != 0 {
+		t.Fatalf("first hop stats %+v", st)
+	}
+	if st := terminal.Stats(); st.Relayed != 0 || st.InstancesServed != 4 {
+		t.Fatalf("terminal hop stats %+v", st)
+	}
+}
+
+// TestRelayTTLExhausted drives a frame whose hop budget runs out at a
+// non-terminal hop: the chain must answer with an error instead of
+// forwarding — the cycle guard.
+func TestRelayTTLExhausted(t *testing.T) {
+	cls := testClassifier(t, 43)
+	chain := core.FlattenChain(cls.Backbone, cls.Exit)
+	stages, err := core.Partition(chain, []core.CutPoint{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	terminal := startStageServer(t, stages[1], nil)
+	first := startStageServer(t, stages[0], dialHop(t, terminal))
+	client := dialHop(t, first)
+
+	rng := rand.New(rand.NewSource(44))
+	batch := tensor.Randn(rng, 1, 1, 3, 8, 8)
+	if _, err := client.RelayActivations(batch, 0); err == nil || !strings.Contains(err.Error(), "TTL exhausted") {
+		t.Fatalf("ttl=0 through a non-terminal hop: %v", err)
+	}
+	// A terminal hop needs no hop budget: ttl=0 straight at it still serves.
+	direct := dialHop(t, terminal)
+	mid := stages[0].Forward(batch, false)
+	if _, err := direct.RelayActivations(mid, 0); err != nil {
+		t.Fatalf("ttl=0 at the terminal hop refused: %v", err)
+	}
+}
+
+// TestStageOnlyServerRejectsClassify pins the pure-relay-hop contract: a
+// server with only a stage answers classify frames with an error (not a
+// crash, not a hang) and keeps the connection serving relays.
+func TestStageOnlyServerRejectsClassify(t *testing.T) {
+	cls := testClassifier(t, 45)
+	chain := core.FlattenChain(cls.Backbone, cls.Exit)
+	stages, err := core.Partition(chain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := startStageServer(t, stages[0], nil)
+	client := dialHop(t, s)
+	rng := rand.New(rand.NewSource(46))
+	img := tensor.Randn(rng, 1, 3, 8, 8)
+	if _, _, err := client.Classify(img); err == nil || !strings.Contains(err.Error(), "raw mode not supported") {
+		t.Fatalf("stage-only server served a raw classify: %v", err)
+	}
+	if _, err := client.RelayActivations(img.Reshape(1, 3, 8, 8), 1); err != nil {
+		t.Fatalf("relay broken after rejected classify: %v", err)
+	}
+}
+
+// TestRelayRejectsMalformedPayloads: garbage payloads and non-NCHW tensors
+// get error frames; the connection survives.
+//
+// meanet:frame-writer
+func TestRelayRejectsMalformedPayloads(t *testing.T) {
+	cls := testClassifier(t, 47)
+	chain := core.FlattenChain(cls.Backbone, cls.Exit)
+	stages, err := core.Partition(chain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := startStageServer(t, stages[0], nil)
+	client := dialHop(t, s)
+
+	rng := rand.New(rand.NewSource(48))
+	chw := tensor.Randn(rng, 1, 3, 8, 8) // rank 3 — client itself must refuse
+	if _, err := client.RelayActivations(chw, 1); err == nil {
+		t.Fatal("client relayed a non-NCHW tensor")
+	}
+	// The server-side rank check needs a hand-built frame.
+	f := protocol.Frame{
+		Type:    protocol.MsgRelay,
+		ID:      7,
+		Payload: protocol.EncodeActivation(1, tensor.Randn(rng, 1, 2, 3)),
+	}
+	resp := s.dispatch(f)
+	if resp.Type != protocol.MsgError || !strings.Contains(string(resp.Payload), "NCHW") {
+		t.Fatalf("rank-3 activation answered with %s %q", resp.Type, resp.Payload)
+	}
+	if resp := s.dispatch(protocol.Frame{Type: protocol.MsgRelay, ID: 8, Payload: []byte{1, 2}}); resp.Type != protocol.MsgError {
+		t.Fatalf("garbage relay payload answered with %s", resp.Type)
+	}
+}
+
+// TestNewServerStageOnly: a pure relay hop needs no models, but a server with
+// neither models nor a stage is still rejected.
+func TestNewServerStageOnly(t *testing.T) {
+	if _, err := NewServer(nil, nil); err == nil {
+		t.Fatal("model-less, stage-less server accepted")
+	}
+	if _, err := NewServer(nil, nil, WithStage(StageConfig{Stage: nn.Identity{}})); err != nil {
+		t.Fatalf("stage-only server rejected: %v", err)
+	}
+}

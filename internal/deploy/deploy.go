@@ -11,12 +11,15 @@ package deploy
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 
 	"github.com/meanet/meanet/internal/cloud"
 	"github.com/meanet/meanet/internal/core"
 	"github.com/meanet/meanet/internal/data"
 	"github.com/meanet/meanet/internal/metrics"
 	"github.com/meanet/meanet/internal/models"
+	"github.com/meanet/meanet/internal/nn"
 )
 
 // EdgeSpec pins the deterministic inputs of the edge-side construction.
@@ -135,7 +138,29 @@ func TrainTail(m *core.MEANet, train *data.Dataset, seed int64, epochs int,
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(seed))
-	featC := feats.C
+	cls, err := BuildTailNet(rng, feats.C, feats.NumClasses)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultTrainConfig(epochs, seed+1)
+	if progress != nil {
+		progress("training features tail (%d epochs over %d×%d×%d features)",
+			epochs, feats.C, feats.H, feats.W)
+	}
+	if err := core.TrainClassifier(cls, feats, cfg); err != nil {
+		return nil, err
+	}
+	// Backbone is itself an nn.Layer, so the tail forwards exactly as the
+	// classifier trained.
+	return &cloud.Tail{Body: cls.Backbone, Exit: cls.Exit}, nil
+}
+
+// BuildTailNet constructs the (untrained) features-tail classifier for a
+// main block whose feature maps have featC channels: the architecture
+// TrainTail trains and the serving-chain construction flattens. Keeping the
+// geometry in one place is what guarantees an edge planning cut points and a
+// cloud serving stages agree on the chain structure.
+func BuildTailNet(rng *rand.Rand, featC, classes int) (*models.Classifier, error) {
 	spec := models.ResNetSpec{
 		Name:         "feattail",
 		InChannels:   featC,
@@ -148,18 +173,50 @@ func TrainTail(m *core.MEANet, train *data.Dataset, seed int64, epochs int,
 	if err != nil {
 		return nil, err
 	}
-	cls := models.NewClassifier(rng, backbone, feats.NumClasses)
-	cfg := core.DefaultTrainConfig(epochs, seed+1)
-	if progress != nil {
-		progress("training features tail (%d epochs over %d×%d×%d features)",
-			epochs, feats.C, feats.H, feats.W)
+	return models.NewClassifier(rng, backbone, classes), nil
+}
+
+// ServingChain flattens a partitioned deployment — the edge main block
+// followed by the cloud tail — into the ordered chain of atomic units that
+// core.Partition cuts into relay stages. The chain reuses the deployment's
+// layer objects, so stage forwards are bitwise identical to the monolithic
+// cloud.Partitioned(m.Main, tail) forward for every legal cut.
+func ServingChain(m *core.MEANet, tail *cloud.Tail) []nn.Layer {
+	return core.FlattenChain(m.Main, tail.Body, tail.Exit)
+}
+
+// MainBoundary is the cut point at which a single-cut partition of
+// ServingChain reproduces today's main↔tail deployment exactly: everything
+// before it is the edge main block, everything after is the cloud tail.
+func MainBoundary(m *core.MEANet) core.CutPoint {
+	return core.CutPoint(len(core.FlattenChain(m.Main)))
+}
+
+// ParseCuts parses a -cuts flag value ("6" or "6,9") into strictly
+// increasing cut points; core.Partition validates them against the chain.
+func ParseCuts(s string) ([]core.CutPoint, error) {
+	var cuts []core.CutPoint
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("deploy: empty cut point in %q", s)
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("deploy: bad cut point %q: %w", part, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("deploy: cut point %d must be positive", v)
+		}
+		if n := len(cuts); n > 0 && core.CutPoint(v) <= cuts[n-1] {
+			return nil, fmt.Errorf("deploy: cut points must be strictly increasing, got %d after %d", v, cuts[n-1])
+		}
+		cuts = append(cuts, core.CutPoint(v))
 	}
-	if err := core.TrainClassifier(cls, feats, cfg); err != nil {
-		return nil, err
+	if len(cuts) == 0 {
+		return nil, fmt.Errorf("deploy: no cut points in %q", s)
 	}
-	// Backbone is itself an nn.Layer, so the tail forwards exactly as the
-	// classifier trained.
-	return &cloud.Tail{Body: cls.Backbone, Exit: cls.Exit}, nil
+	return cuts, nil
 }
 
 // DefaultEpochs is the scale default both commands share for edge training.

@@ -1,0 +1,171 @@
+package deploy
+
+// The partition bitwise-equivalence sweep (the multi-hop refactor's core
+// guarantee): for EVERY legal cut chain of the serving chain, running the
+// stages in sequence must reproduce the monolithic forward bit for bit, in
+// raw mode (full chain from the image) and features mode (tail sub-chain
+// from the main block's features) alike. The guarantee is structural —
+// core.Partition reuses the same layer objects in the same order — so
+// untrained weights with eval-mode BatchNorm are exactly as strong a test as
+// trained ones, and the full 2^boundaries enumeration stays affordable.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/meanet/meanet/internal/cloud"
+	"github.com/meanet/meanet/internal/core"
+	"github.com/meanet/meanet/internal/models"
+	"github.com/meanet/meanet/internal/nn"
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+// buildSweepNet returns an untrained C100-B tiny edge net and feature tail —
+// the same geometry ServingChain partitions in the experiments.
+func buildSweepNet(t *testing.T) (*core.MEANet, *cloud.Tail) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	b, err := models.BuildResNet(rng, models.ResNetEdgeC100(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.BuildMEANetB(rng, b, 2, 20, core.CombineSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := BuildTailNet(rng, m.MainOutChannels(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, &cloud.Tail{Body: cls.Backbone, Exit: cls.Exit}
+}
+
+func bitwiseEqual(t *testing.T, label string, got, want *tensor.Tensor) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape %v, want %v", label, got.Shape(), want.Shape())
+	}
+	for i, v := range got.Data() {
+		if math.Float32bits(v) != math.Float32bits(want.Data()[i]) {
+			t.Fatalf("%s: element %d is %x, want %x",
+				label, i, math.Float32bits(v), math.Float32bits(want.Data()[i]))
+		}
+	}
+}
+
+// chainForward runs the stages in sequence in eval mode.
+func chainForward(stages []*nn.Sequential, x *tensor.Tensor) *tensor.Tensor {
+	for _, s := range stages {
+		x = s.Forward(x, false)
+	}
+	return x
+}
+
+// sweepAllCuts enumerates every subset of the chain's boundaries as a cut
+// chain and requires the staged forward to reproduce want bitwise.
+func sweepAllCuts(t *testing.T, label string, chain []nn.Layer, x, want *tensor.Tensor) {
+	t.Helper()
+	boundaries := len(chain) - 1
+	for mask := 0; mask < 1<<boundaries; mask++ {
+		var cuts []core.CutPoint
+		for b := 0; b < boundaries; b++ {
+			if mask&(1<<b) != 0 {
+				cuts = append(cuts, core.CutPoint(b+1))
+			}
+		}
+		stages, err := core.Partition(chain, cuts)
+		if err != nil {
+			t.Fatalf("%s: cuts %v: %v", label, cuts, err)
+		}
+		if len(stages) != len(cuts)+1 {
+			t.Fatalf("%s: cuts %v gave %d stages", label, cuts, len(stages))
+		}
+		bitwiseEqual(t, label, chainForward(stages, x), want)
+	}
+}
+
+// TestPartitionSweepRawMode: all 2^(N-1) cut chains of the full
+// image→logits serving chain.
+func TestPartitionSweepRawMode(t *testing.T) {
+	m, tail := buildSweepNet(t)
+	chain := ServingChain(m, tail)
+	if len(chain) < 10 {
+		t.Fatalf("serving chain collapsed to %d units; the sweep would prove nothing", len(chain))
+	}
+	rng := rand.New(rand.NewSource(22))
+	x := tensor.Randn(rng, 1, 2, 3, 12, 12)
+	want := cloud.Partitioned(m.Main, tail).Logits(x, false)
+	sweepAllCuts(t, "raw", chain, x, want)
+}
+
+// TestPartitionSweepFeaturesMode: all cut chains of the tail-only sub-chain,
+// fed the main block's features — §III-C's features representation relayed
+// hop to hop.
+func TestPartitionSweepFeaturesMode(t *testing.T) {
+	m, tail := buildSweepNet(t)
+	chain := core.FlattenChain(tail.Body, tail.Exit)
+	rng := rand.New(rand.NewSource(23))
+	x := tensor.Randn(rng, 1, 2, 3, 12, 12)
+	feats := m.Main.Forward(x, false)
+	want := tail.Logits(feats, false)
+	sweepAllCuts(t, "features", chain, feats, want)
+}
+
+// TestDegenerateCutIsMainTailSplit: a single cut at MainBoundary reproduces
+// today's main↔tail pair exactly — stage 0 IS the main block's forward and
+// the remaining stage IS the tail, so the existing -offload modes see no
+// behavior change.
+func TestDegenerateCutIsMainTailSplit(t *testing.T) {
+	m, tail := buildSweepNet(t)
+	chain := ServingChain(m, tail)
+	mb := MainBoundary(m)
+	stages, err := core.Partition(chain, []core.CutPoint{mb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(24))
+	x := tensor.Randn(rng, 1, 2, 3, 12, 12)
+	feats := stages[0].Forward(x, false)
+	bitwiseEqual(t, "stage0-vs-main", feats, m.Main.Forward(x, false))
+	bitwiseEqual(t, "stage1-vs-tail", stages[1].Forward(feats, false), tail.Logits(m.Main.Forward(x, false), false))
+	bitwiseEqual(t, "chain-vs-partitioned", chainForward(stages, x), cloud.Partitioned(m.Main, tail).Logits(x, false))
+}
+
+func TestPartitionRejectsIllegalCuts(t *testing.T) {
+	m, tail := buildSweepNet(t)
+	chain := ServingChain(m, tail)
+	for _, cuts := range [][]core.CutPoint{
+		{0},                         // before the first unit
+		{core.CutPoint(len(chain))}, // past the last unit
+		{3, 3},                      // not strictly increasing
+		{5, 2},                      // decreasing
+		{-1},                        // negative
+	} {
+		if _, err := core.Partition(chain, cuts); err == nil {
+			t.Fatalf("cuts %v accepted", cuts)
+		}
+	}
+	if _, err := core.Partition(nil, nil); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+}
+
+func TestParseCuts(t *testing.T) {
+	got, err := ParseCuts("3,6")
+	if err != nil || len(got) != 2 || got[0] != 3 || got[1] != 6 {
+		t.Fatalf("ParseCuts(\"3,6\") = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "a", "3,,6", "6,3", "3,3", "0", "-2", "3, "} {
+		if _, err := ParseCuts(bad); err == nil {
+			t.Fatalf("ParseCuts(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMainBoundaryMatchesFlattenedMain(t *testing.T) {
+	m, _ := buildSweepNet(t)
+	if got, want := MainBoundary(m), core.CutPoint(len(core.FlattenChain(m.Main))); got != want {
+		t.Fatalf("MainBoundary = %d, flattened main has %d units", got, want)
+	}
+}

@@ -1,0 +1,110 @@
+package edge
+
+// ChainClient drives a multi-hop partitioned deployment (core.Partition)
+// from the edge: it runs stage 0 of the serving chain locally — or ships the
+// raw input when the placement assigns the edge no compute — and relays the
+// activations to the first stage server, which forwards hop by hop until the
+// terminal hop's results come back along the chain. It implements
+// CloudClient, so the edge runtime, the fleet harness and BatchOffload
+// consume a chain exactly like a single cloud server.
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/meanet/meanet/internal/linkest"
+	"github.com/meanet/meanet/internal/nn"
+	"github.com/meanet/meanet/internal/protocol"
+	"github.com/meanet/meanet/internal/tensor"
+)
+
+// DefaultRelayTTL is the hop budget a chain client stamps on relay frames
+// when the caller does not pin one: far above any sane chain length, so it
+// only ever trips on a misconfigured relay cycle.
+const DefaultRelayTTL = 16
+
+// ChainClient is the edge endpoint of a stage chain. It has no mutable
+// state of its own — local is an eval-mode (stateless) forward and next is
+// internally synchronized — so it is safe for concurrent use without locks.
+type ChainClient struct {
+	local nn.Layer   // stage 0; nil = ship the raw input to the first hop
+	next  *TCPClient // transport to the first stage server
+	ttl   uint8      // hop budget stamped on every relay frame
+}
+
+var _ CloudClient = (*ChainClient)(nil)
+
+// NewChainClient wraps a dialed transport to the first stage server. local
+// is the edge's own stage of the chain (nil when the placement puts every
+// stage off-device); ttl bounds the chain length (0 selects DefaultRelayTTL).
+func NewChainClient(local nn.Layer, next *TCPClient, ttl uint8) (*ChainClient, error) {
+	if next == nil {
+		return nil, errors.New("edge: chain client needs a transport to the first hop")
+	}
+	if ttl == 0 {
+		ttl = DefaultRelayTTL
+	}
+	return &ChainClient{local: local, next: next, ttl: ttl}, nil
+}
+
+// Classify runs one CHW image through the chain (a 1-image batch, so single
+// and batched predictions agree bitwise).
+func (c *ChainClient) Classify(img *tensor.Tensor) (int, float64, error) {
+	if img.Dims() != 3 {
+		return 0, 0, fmt.Errorf("edge: Classify expects a CHW image, got shape %v", img.Shape())
+	}
+	preds, confs, err := c.classifyStacked(img.Reshape(append([]int{1}, img.Shape()...)...))
+	if err != nil {
+		return 0, 0, err
+	}
+	return preds[0], confs[0], nil
+}
+
+// ClassifyBatch stacks the images and runs the chain once over the whole
+// batch: one local stage-0 forward, one relay frame per hop.
+func (c *ChainClient) ClassifyBatch(imgs []*tensor.Tensor) ([]int, []float64, error) {
+	batch, err := stackCHW(imgs, "ClassifyBatch")
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.classifyStacked(batch)
+}
+
+// classifyStacked is the BatchOffload fast path: run the local stage (if
+// any) on the already-stacked NCHW batch and relay the activations.
+func (c *ChainClient) classifyStacked(batch *tensor.Tensor) ([]int, []float64, error) {
+	if batch.Dims() != 4 {
+		return nil, nil, fmt.Errorf("edge: classifyStacked expects an NCHW batch, got shape %v", batch.Shape())
+	}
+	act := batch
+	if c.local != nil {
+		act = c.local.Forward(batch, false)
+	}
+	rs, err := c.next.RelayActivations(act, c.ttl)
+	if err != nil {
+		return nil, nil, err
+	}
+	preds := make([]int, len(rs))
+	confs := make([]float64, len(rs))
+	for i, r := range rs {
+		preds[i] = int(r.Pred)
+		confs[i] = float64(r.Conf)
+	}
+	return preds, confs, nil
+}
+
+// LinkEstimate reports the live estimate of the edge→first-hop link (each
+// further hop's downstream transport keeps its own).
+func (c *ChainClient) LinkEstimate() linkest.Estimate { return c.next.LinkEstimate() }
+
+// CloudLoad reports the first hop's piggybacked backpressure signal.
+func (c *ChainClient) CloudLoad() (protocol.LoadStatus, bool) { return c.next.CloudLoad() }
+
+// Sheds reports how many relay frames the first hop answered with a shed.
+func (c *ChainClient) Sheds() uint64 { return c.next.Sheds() }
+
+// BytesSent reports the wire bytes shipped to the first hop.
+func (c *ChainClient) BytesSent() uint64 { return c.next.BytesSent() }
+
+// Close releases the transport to the first hop.
+func (c *ChainClient) Close() error { return c.next.Close() }

@@ -672,6 +672,50 @@ func (c *TCPClient) stackedRoundTrip(msgType protocol.MsgType, batch *tensor.Ten
 	}
 }
 
+// RelayActivations ships one NCHW activation batch as a MsgRelay frame into
+// a stage chain and returns the per-instance results the terminal hop sent
+// back along it. ttl bounds the remaining hop count (each hop decrements).
+// The exchange rides the same pipelined transport as every other frame —
+// many relays overlap on one connection, redial applies, and each successful
+// round trip feeds THIS hop's link estimator, which is what gives a chain
+// per-hop link estimation for free. The method also makes *TCPClient satisfy
+// cloud.Downstream, so a stage server forwards through it without adapters.
+// A legacy server (or one without a stage) answers MsgError, mirroring the
+// MsgHello contract; a shed decodes to *ShedError as usual.
+func (c *TCPClient) RelayActivations(batch *tensor.Tensor, ttl uint8) ([]protocol.Result, error) {
+	if batch.Dims() != 4 {
+		return nil, fmt.Errorf("edge: RelayActivations expects an NCHW batch, got shape %v", batch.Shape())
+	}
+	payload := protocol.EncodeActivation(ttl, batch)
+	id, ch, writeDur, err := c.send(protocol.MsgRelay, payload)
+	if err != nil {
+		return nil, err
+	}
+	waitStart := time.Now()
+	f, err := c.await(id, ch)
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case protocol.MsgResultBatch:
+		rs, load, hasLoad, err := protocol.DecodeResultsLoad(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(rs) != batch.Dim(0) {
+			return nil, fmt.Errorf("edge: relay response has %d results for %d instances", len(rs), batch.Dim(0))
+		}
+		c.observe(len(payload), writeDur, time.Since(waitStart), load, hasLoad)
+		return rs, nil
+	case protocol.MsgShed:
+		return nil, c.shedResult(f.Payload)
+	case protocol.MsgError:
+		return nil, fmt.Errorf("edge: cloud error: %s", f.Payload)
+	default:
+		return nil, fmt.Errorf("edge: unexpected response type %s", f.Type)
+	}
+}
+
 // Ping round-trips a ping frame, verifying the link end to end.
 func (c *TCPClient) Ping() error {
 	id, ch, _, err := c.send(protocol.MsgPing, nil)

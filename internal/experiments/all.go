@@ -43,6 +43,7 @@ func Runners() []Runner {
 		{"fleet-shedding", wrap(FleetShedding)},
 		{"fleet-replicas", wrap(FleetReplicas)},
 		{"fleet-weighted", wrap(FleetWeighted)},
+		{"pipeline-partition", wrap(PipelinePartition)},
 		{"ablation-combine", wrap(AblationCombine)},
 		{"ablation-optimization", wrap(AblationOptimization)},
 		{"ablation-detector", wrap(AblationDetector)},

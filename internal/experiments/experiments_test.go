@@ -354,8 +354,8 @@ func TestRunOneUnknownName(t *testing.T) {
 
 func TestNamesComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 21 {
-		t.Fatalf("have %d experiments, want 21", len(names))
+	if len(names) != 22 {
+		t.Fatalf("have %d experiments, want 22", len(names))
 	}
 	seen := map[string]bool{}
 	for _, n := range names {
@@ -364,7 +364,7 @@ func TestNamesComplete(t *testing.T) {
 		}
 		seen[n] = true
 	}
-	for _, want := range []string{"fig7", "table2", "table6", "offload-modes", "fleet-shedding", "fleet-replicas", "fleet-weighted", "ablation-combine"} {
+	for _, want := range []string{"fig7", "table2", "table6", "offload-modes", "fleet-shedding", "fleet-replicas", "fleet-weighted", "pipeline-partition", "ablation-combine"} {
 		if !seen[want] {
 			t.Fatalf("experiment %q missing", want)
 		}
@@ -638,5 +638,48 @@ func TestFleetWeightedRouting(t *testing.T) {
 	}
 	if testing.Verbose() {
 		t.Log("\n" + r.String())
+	}
+}
+
+func TestPipelinePartitionExperiment(t *testing.T) {
+	skipPaperScale(t)
+	r, err := PipelinePartition(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, ok := r.Row("pipeline3")
+	if !ok {
+		t.Fatal("no pipeline3 row")
+	}
+	local, ok := r.Row("all-edge")
+	if !ok {
+		t.Fatal("no all-edge row")
+	}
+	direct, ok := r.Row("direct")
+	if !ok {
+		t.Fatal("no direct row")
+	}
+	// The solver must predict a pipeline win on this scenario, and the
+	// measured rows must reproduce the ordering strictly.
+	if pipe.PredictedPS <= local.PredictedPS || pipe.PredictedPS <= direct.PredictedPS {
+		t.Fatalf("solver does not predict a pipeline win: %+v", r.Rows)
+	}
+	if pipe.ImagesPerSec <= local.ImagesPerSec {
+		t.Fatalf("measured pipeline %.0f img/s does not beat all-edge %.0f", pipe.ImagesPerSec, local.ImagesPerSec)
+	}
+	if pipe.ImagesPerSec <= direct.ImagesPerSec {
+		t.Fatalf("measured pipeline %.0f img/s does not beat direct %.0f", pipe.ImagesPerSec, direct.ImagesPerSec)
+	}
+	if len(r.Placement.Cuts) != 2 || len(r.Placement.Stages) != 3 {
+		t.Fatalf("placement is not a 3-hop pipeline: %+v", r.Placement)
+	}
+	out := r.String()
+	for _, want := range []string{"pipeline3", "all-edge", "direct", "solver cuts"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	if testing.Verbose() {
+		t.Log("\n" + out)
 	}
 }

@@ -26,6 +26,7 @@ import (
 var frameTypes = []MsgType{
 	MsgClassifyRaw, MsgClassifyFeat, MsgResult, MsgError, MsgPing, MsgPong,
 	MsgClassifyBatch, MsgResultBatch, MsgClassifyFeatBatch, MsgShed, MsgHello,
+	MsgRelay,
 }
 
 func FuzzFrameRoundTrip(f *testing.F) {
@@ -284,6 +285,60 @@ func FuzzDecodeShed(f *testing.F) {
 		if !bytes.Equal(back, data) {
 			t.Fatalf("accepted shed payload is not canonical (%d vs %d bytes, hasLoad %v)",
 				len(back), len(data), hasLoad)
+		}
+	})
+}
+
+// FuzzDecodeActivation feeds arbitrary bytes into the relay-payload decoder
+// (TTL byte + tensor): accepted payloads must re-encode canonically — the
+// tensor encoding is canonical and the TTL byte is copied verbatim — so a
+// stage hop can never accept an activation it could not relay identically.
+func FuzzDecodeActivation(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3})
+	f.Add(EncodeActivation(0, tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)))
+	f.Add(EncodeActivation(255, tensor.FromSlice([]float32{float32(math.NaN())}, 1, 1, 1, 1)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ttl, act, err := DecodeActivation(data)
+		if err != nil {
+			return
+		}
+		if got := EncodeActivation(ttl, act); !bytes.Equal(got, data) {
+			t.Fatalf("accepted relay payload is not canonical (%d vs %d bytes)", len(got), len(data))
+		}
+	})
+}
+
+// FuzzActivationRoundTrip builds NCHW batches from fuzzed dimensions and
+// requires a bitwise-lossless relay payload cycle — the property the whole
+// multi-hop chain's bitwise-identity guarantee rests on.
+func FuzzActivationRoundTrip(f *testing.F) {
+	f.Add(uint8(2), uint8(3), uint8(4), uint8(7), int64(1))
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(0), int64(-7))
+	f.Fuzz(func(t *testing.T, n, c, hw, ttl uint8, seed int64) {
+		shape := []int{int(n)%4 + 1, int(c)%8 + 1, int(hw)%6 + 1, int(hw)%6 + 1}
+		total := shape[0] * shape[1] * shape[2] * shape[3]
+		data := make([]float32, total)
+		s := uint64(seed)
+		for i := range data {
+			s = s*6364136223846793005 + 1442695040888963407
+			data[i] = math.Float32frombits(uint32(s >> 32))
+		}
+		in := tensor.FromSlice(data, shape...)
+		gotTTL, out, err := DecodeActivation(EncodeActivation(ttl, in))
+		if err != nil {
+			t.Fatalf("decode of valid relay payload: %v", err)
+		}
+		if gotTTL != ttl {
+			t.Fatalf("TTL %d became %d", ttl, gotTTL)
+		}
+		if !out.SameShape(in) {
+			t.Fatalf("shape %v became %v", in.Shape(), out.Shape())
+		}
+		for i, v := range out.Data() {
+			if math.Float32bits(v) != math.Float32bits(in.Data()[i]) {
+				t.Fatalf("element %d: %x became %x", i, math.Float32bits(in.Data()[i]), math.Float32bits(v))
+			}
 		}
 	})
 }

@@ -32,6 +32,7 @@ const (
 	MsgClassifyFeatBatch                    // payload: batched feature tensor [N,C,H,W]
 	MsgShed                                 // payload: uint64 retry-after nanos (+ optional LoadStatus)
 	MsgHello                                // request: empty; reply payload: Capabilities
+	MsgRelay                                // payload: relay TTL byte + activation tensor [N,C,H,W]
 )
 
 // String names the message type.
@@ -59,6 +60,8 @@ func (t MsgType) String() string {
 		return "shed"
 	case MsgHello:
 		return "hello"
+	case MsgRelay:
+		return "relay"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -384,6 +387,41 @@ func DecodeHello(b []byte) (Capabilities, error) {
 		TailCapable: b[0]&helloTailFlag != 0,
 		MaxBatch:    binary.LittleEndian.Uint32(b[1:]),
 	}, nil
+}
+
+// relayHeaderLen is the fixed prefix of a MsgRelay payload (the TTL byte).
+const relayHeaderLen = 1
+
+// EncodeActivation serializes a MsgRelay payload: one TTL byte followed by
+// the NCHW activation tensor in EncodeTensor form. MsgRelay is the stage-
+// chain frame — a hop receives activations, runs its stage, and either
+// forwards the outputs downstream (TTL decremented per hop, so a
+// misconfigured chain cycle dies with an error instead of amplifying frames
+// forever) or, at the terminal hop, answers with the usual MsgResultBatch.
+// A server predating stage mode answers the unknown type with MsgError,
+// mirroring the MsgHello legacy contract: the chain client surfaces the
+// error and the instances fall back to the edge.
+func EncodeActivation(ttl uint8, t *tensor.Tensor) []byte {
+	body := EncodeTensor(t)
+	out := make([]byte, relayHeaderLen+len(body))
+	out[0] = ttl
+	copy(out[relayHeaderLen:], body)
+	return out
+}
+
+// DecodeActivation reverses EncodeActivation, validating the payload
+// exactly (the tensor decoder rejects truncated or trailing bytes). Rank is
+// NOT constrained here — the serving layer enforces NCHW so the decoder
+// stays reusable for future relay payloads.
+func DecodeActivation(b []byte) (ttl uint8, t *tensor.Tensor, err error) {
+	if len(b) < relayHeaderLen {
+		return 0, nil, fmt.Errorf("protocol: relay payload length %d, want >= %d", len(b), relayHeaderLen)
+	}
+	t, err = DecodeTensor(b[relayHeaderLen:])
+	if err != nil {
+		return 0, nil, err
+	}
+	return b[0], t, nil
 }
 
 // DecodeResultLoad decodes a MsgResult payload with or without the trailing

@@ -231,6 +231,8 @@ func TestMsgTypeWireValuesStable(t *testing.T) {
 		MsgResultBatch:       8,
 		MsgClassifyFeatBatch: 9,
 		MsgShed:              10,
+		MsgHello:             11,
+		MsgRelay:             12,
 	}
 	for ty, v := range want {
 		if uint8(ty) != v {
@@ -251,6 +253,8 @@ func TestMsgTypeStrings(t *testing.T) {
 		MsgResultBatch:       "result-batch",
 		MsgClassifyFeatBatch: "classify-features-batch",
 		MsgShed:              "shed",
+		MsgHello:             "hello",
+		MsgRelay:             "relay",
 		MsgType(99):          "msgtype(99)",
 	}
 	for ty, want := range names {
@@ -382,6 +386,42 @@ func TestShedRoundTrip(t *testing.T) {
 	for _, n := range []int{0, 1, 7, 9, 15, 17, 32} {
 		if _, _, _, err := DecodeShed(make([]byte, n)); err == nil {
 			t.Fatalf("%d-byte shed payload accepted", n)
+		}
+	}
+}
+
+func TestActivationRoundTrip(t *testing.T) {
+	in := tensor.FromSlice([]float32{1, -2, 3.5, 0, 7, -0.25, 9, 11}, 2, 1, 2, 2)
+	payload := EncodeActivation(5, in)
+	ttl, out, err := DecodeActivation(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttl != 5 {
+		t.Fatalf("ttl = %d, want 5", ttl)
+	}
+	if !out.SameShape(in) {
+		t.Fatalf("shape %v became %v", in.Shape(), out.Shape())
+	}
+	for i, v := range out.Data() {
+		if v != in.Data()[i] {
+			t.Fatalf("element %d: %v became %v", i, in.Data()[i], v)
+		}
+	}
+}
+
+func TestDecodeActivationRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,       // no TTL byte at all
+		{7},       // TTL but no tensor
+		{7, 4},    // rank with no dims
+		{7, 0xff}, // absurd rank
+	}
+	good := EncodeActivation(1, tensor.FromSlice([]float32{1, 2}, 1, 1, 1, 2))
+	cases = append(cases, good[:len(good)-1], append(append([]byte{}, good...), 0))
+	for i, c := range cases {
+		if _, _, err := DecodeActivation(c); err == nil {
+			t.Fatalf("case %d (%d bytes) accepted", i, len(c))
 		}
 	}
 }
