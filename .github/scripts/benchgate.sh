@@ -5,8 +5,8 @@
 # fails (exit 1) on a >15% regression in the gated benchmarks:
 #
 #   - MatMul512 and MEANetInferBatch: best (minimum) ns/op
-#   - every FleetOffload, FleetWeighted and PipelinePartition
-#     sub-benchmark: best (maximum) images/s
+#   - every FleetOffload, FleetWeighted, PipelinePartition and
+#     ChainFailover sub-benchmark: best (maximum) images/s
 #
 # "Best of N" over the -count repetitions damps scheduler noise on shared
 # runners: a genuine regression slows the best rep too, while a noisy rep
@@ -68,12 +68,13 @@ for name in BenchmarkMatMul512 BenchmarkMEANetInferBatch; do
   gate "$name" "$(min_ns "$base" "$name")" "$(min_ns "$head" "$name")" lower ns/op
 done
 
-# FleetOffload, FleetWeighted and PipelinePartition sub-benchmarks,
+# FleetOffload, FleetWeighted, PipelinePartition and ChainFailover
+# sub-benchmarks,
 # discovered from the BASE file so a head that silently drops one fails as
 # MISSING instead of passing unexamined.
-subs=$(awk '$1 ~ /^(BenchmarkFleet(Offload|Weighted)|BenchmarkPipelinePartition)\// { sub(/-[0-9]+$/, "", $1); print $1 }' "$base" | sort -u)
+subs=$(awk '$1 ~ /^(BenchmarkFleet(Offload|Weighted)|BenchmarkPipelinePartition|BenchmarkChainFailover)\// { sub(/-[0-9]+$/, "", $1); print $1 }' "$base" | sort -u)
 if [ -z "$subs" ]; then
-  echo "benchgate: MISSING BenchmarkFleetOffload/BenchmarkFleetWeighted/BenchmarkPipelinePartition in base output"
+  echo "benchgate: MISSING BenchmarkFleetOffload/BenchmarkFleetWeighted/BenchmarkPipelinePartition/BenchmarkChainFailover in base output"
   fail=1
 fi
 for name in $subs; do

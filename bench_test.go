@@ -775,6 +775,98 @@ func BenchmarkPipelinePartition(b *testing.B) {
 	})
 }
 
+// benchFlatModel is the zero-cpu monolithic-replica stand-in for the
+// failover benchmark: zero logits after a serialized fixed delay, so the
+// direct fallback's serving cost is exactly the modeled whole-chain compute
+// (the same physics discipline as SlowStage hops).
+type benchFlatModel struct {
+	classes int
+	delay   time.Duration
+	mu      sync.Mutex
+}
+
+func (m *benchFlatModel) Logits(x *tensor.Tensor, train bool) *tensor.Tensor {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	time.Sleep(m.delay)
+	return tensor.New(x.Dim(0), m.classes)
+}
+
+// BenchmarkChainFailover measures the chain's degraded mode next to its
+// healthy path: the same 2-hop stage pipeline (zero-cpu shape stands with
+// serialized delays) with a direct monolithic fallback replica armed. The
+// healthy sub never touches the fallback; the failover sub kills the
+// terminal hop before the load, so every batch pays a failed relay attempt
+// and then the direct round trip — the images/s gap is the price of
+// degraded mode, and the sub regressing is what bench-compare gates on.
+func BenchmarkChainFailover(b *testing.B) {
+	const hopCompute = 2 * time.Millisecond
+	const workers, total, classes = 8, 32, 5
+	rng := rand.New(rand.NewSource(73))
+	img := tensor.Randn(rng, 1, 3, 12, 12)
+	uplink := netsim.Link{Latency: time.Millisecond, Mbps: 20}
+	interlink := netsim.Link{Latency: 500 * time.Microsecond, Mbps: 200}
+
+	measure := func(b *testing.B, killTerminal bool) {
+		b.Helper()
+		ch, err := fleet.StartChain([]fleet.ChainHop{
+			{Stage: &fleet.SlowStage{Inner: fleet.ShapeStage{Dims: []int{4, 6, 6}}, Delay: hopCompute}, Link: interlink},
+			{Stage: &fleet.SlowStage{Inner: fleet.ShapeStage{Dims: []int{classes}}, Delay: hopCompute}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ch.Close()
+		// The fallback replica serves the WHOLE chain's compute per batch —
+		// a failover is never cheaper than the pipeline it replaces.
+		direct, err := cloud.NewServer(&benchFlatModel{classes: classes, delay: 2 * hopCompute}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := direct.Listen("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		defer direct.Close()
+		next, err := edge.DialCloud(ch.Addr(), edge.DialConfig{Link: uplink})
+		if err != nil {
+			b.Fatal(err)
+		}
+		client, err := edge.NewChainClient(nil, next, 0)
+		if err != nil {
+			next.Close()
+			b.Fatal(err)
+		}
+		defer client.Close()
+		dc, err := edge.DialCloud(direct.Addr().String(), edge.DialConfig{Link: uplink})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer dc.Close()
+		client.SetDirect(dc)
+		if killTerminal {
+			ch.Servers[1].Close()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := fleet.RunChainLoad(client, img, workers, total); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(total*b.N)/b.Elapsed().Seconds(), "images/s")
+		st := client.ChainStats()
+		if killTerminal && st.FallbackInstances == 0 {
+			b.Fatal("terminal hop dead but no batch took the direct fallback")
+		}
+		if !killTerminal && st.FallbackInstances != 0 {
+			b.Fatalf("healthy chain used the fallback for %d instances", st.FallbackInstances)
+		}
+	}
+
+	b.Run("healthy", func(b *testing.B) { measure(b, false) })
+	b.Run("failover", func(b *testing.B) { measure(b, true) })
+}
+
 func BenchmarkProtocolTensorRoundTrip(b *testing.B) {
 	rng := rand.New(rand.NewSource(5))
 	x := tensor.Randn(rng, 1, 3, 32, 32)

@@ -44,6 +44,14 @@
 // ordinary replica. Predictions through the chain are bitwise identical to
 // the monolithic partitioned model.
 //
+// -downstream accepts a comma-separated failover list: the first address is
+// the preferred next hop, the rest are tried in order when it fails or
+// sheds, with exclusion windows so a dead replica is not re-dialed on every
+// frame. Stage servers also answer source-routed relay frames, whose cut
+// points travel with the frame instead of being fixed by -cuts — that is
+// what lets an edge running -replan move cuts live without any hop being
+// reconfigured.
+//
 // The companion meanet-edge command, started with the same -dataset, -scale,
 // -seed and -variant, generates the identical synthetic dataset and offloads
 // its complex instances here.
@@ -69,6 +77,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -105,7 +114,7 @@ func run(args []string) error {
 	shedRetryAfter := fs.Duration("shed-retry-after", 0, "retry-after hint carried in shed frames (0 = default 50ms)")
 	stageIdx := fs.Int("stage", -1, "serve stage K of the multi-hop partitioned chain (requires -cuts; -1 = off)")
 	cutsFlag := fs.String("cuts", "", "comma-separated cut points over the serving chain (with -stage; all hops and the edge must agree)")
-	downstreamAddr := fs.String("downstream", "", "next hop address for relayed activations (non-terminal stages only)")
+	downstreamAddr := fs.String("downstream", "", "next hop address(es) for relayed activations, comma-separated failover order (non-terminal stages only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -188,24 +197,34 @@ func run(args []string) error {
 			if *stageIdx >= len(stages) {
 				return fmt.Errorf("-stage %d out of range: %d cuts make stages 0..%d", *stageIdx, len(cuts), len(stages)-1)
 			}
-			cfg := cloud.StageConfig{Stage: stages[*stageIdx]}
+			// The full chain rides along so the hop also answers source-routed
+			// relay frames (an edge running -replan moves cuts by stamping new
+			// routes on new frames; no hop is ever reconfigured).
+			cfg := cloud.StageConfig{Stage: stages[*stageIdx], Chain: chain}
+			downAddrs := edge.SplitAddrs(*downstreamAddr)
 			terminal := *stageIdx == len(cuts)
 			if terminal {
-				if *downstreamAddr != "" {
+				if len(downAddrs) > 0 {
 					return fmt.Errorf("-downstream on the terminal stage %d: the last hop answers results itself", *stageIdx)
 				}
 				stageDesc = fmt.Sprintf("terminal stage %d/%d of chain cut at %v", *stageIdx, len(stages)-1, cuts)
 			} else {
-				if *downstreamAddr == "" {
+				if len(downAddrs) == 0 {
 					return fmt.Errorf("stage %d is not terminal (%d cuts): -downstream must name the next hop", *stageIdx, len(cuts))
 				}
-				down, err := edge.DialCloud(*downstreamAddr, edge.DialConfig{})
-				if err != nil {
-					return fmt.Errorf("dial downstream %s: %w", *downstreamAddr, err)
+				// More than one address arms hop-local failover: the entries
+				// form an ordered set, tried in order with exclusion windows,
+				// so the chain heals around one dead next-hop replica without
+				// the edge noticing.
+				for _, da := range downAddrs {
+					down, err := edge.DialCloud(da, edge.DialConfig{})
+					if err != nil {
+						return fmt.Errorf("dial downstream %s: %w", da, err)
+					}
+					defer down.Close()
+					cfg.Downstreams = append(cfg.Downstreams, down)
 				}
-				defer down.Close()
-				cfg.Downstream = down
-				stageDesc = fmt.Sprintf("stage %d/%d of chain cut at %v, downstream %s", *stageIdx, len(stages)-1, cuts, *downstreamAddr)
+				stageDesc = fmt.Sprintf("stage %d/%d of chain cut at %v, downstream %s", *stageIdx, len(stages)-1, cuts, strings.Join(downAddrs, ","))
 			}
 			opts = append(opts, cloud.WithStage(cfg))
 		}

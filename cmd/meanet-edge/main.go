@@ -11,6 +11,7 @@
 //	            [-offload raw|features|auto] [-retries N]
 //	            [-latency-budget 20ms] [-adapt-min-samples N]
 //	            [-admin host:port] [-cuts C1,C2,...]
+//	            [-replan] [-replan-hysteresis F] [-chain-fallback host:port]
 //	            [-plan -plan-rates R0,R1,... -plan-links M@L,...]
 //
 // Start meanet-cloud first with the same -dataset, -scale, -seed and
@@ -61,7 +62,26 @@
 // first cut — locally, and offloaded instances relay stage activations
 // through the chain instead of raw pixels. Requires exactly one -cloud
 // address (the first stage hop) and -offload raw; predictions are bitwise
-// identical to the single-hop deployment.
+// identical to the single-hop deployment. Before streaming, the whole chain
+// is probed end to end — a dead mid-hop is reported with its hop index
+// instead of surfacing as a mid-run relay failure. Flag combinations are
+// validated before any training, so a bad invocation fails in milliseconds.
+//
+// -chain-fallback arms the chain's degraded mode: when a relay fails or a
+// hop sheds, the ORIGINAL raw batch ships to the named monolithic replica
+// in one direct round trip instead of erroring to the edge decision. The
+// report's "chain paths" line partitions instances exactly between the
+// chain, the fallback and chain failures.
+//
+// -replan turns the static -cuts into a starting point: offloads carry
+// source-routed relay frames (the cut chain travels with each frame), the
+// client feeds its measured link estimates and per-hop service telemetry to
+// the placement solver periodically, and when a re-solved placement beats
+// the current cuts by more than -replan-hysteresis (default 0.15) the cuts
+// move — new frames take the new route while in-flight frames drain on the
+// old one, so no frame is dropped and predictions stay bitwise identical
+// across the switch. Requires every hop to run with the full chain
+// (meanet-cloud -stage serves routed frames automatically).
 //
 // -plan runs the placement solver instead of serving: given per-device
 // compute rates (-plan-rates, MACs/s, first device is the edge) and the
@@ -126,6 +146,9 @@ func run(args []string) error {
 	minSamples := fs.Int("adapt-min-samples", 0, "round trips before live link estimates drive adaptation (0 = default 8)")
 	adminAddr := fs.String("admin", "", "listen address for the membership control socket: add/remove/list replicas mid-run (multi-replica only)")
 	cutsFlag := fs.String("cuts", "", "multi-hop partitioning: serving-chain cut points; the edge runs the units before the first cut and relays activations (single -cloud address, -offload raw)")
+	replan := fs.Bool("replan", false, "live re-placement: relay source-routed frames and move the cuts when measured telemetry finds a better placement (with -cuts)")
+	replanHyst := fs.Float64("replan-hysteresis", 0.15, "fractional modeled-throughput margin a re-solved placement must beat the current cuts by before moving (with -replan)")
+	chainFallback := fs.String("chain-fallback", "", "monolithic replica address for the chain's degraded mode: whole raw batches ship there when a hop fails or sheds (with -cuts)")
 	plan := fs.Bool("plan", false, "run the placement solver over the serving chain and exit (needs -plan-rates and -plan-links)")
 	planRates := fs.String("plan-rates", "", "per-device compute rates in MACs/s, comma-separated, first device is the edge (with -plan)")
 	planLinks := fs.String("plan-links", "", "per-hop links as Mbps@latency (e.g. 7@1ms,200@500us), comma-separated (with -plan)")
@@ -146,6 +169,36 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	// Fail fast on illegal flag combinations: every check here reads only
+	// the flags, so a bad invocation dies in milliseconds instead of after
+	// minutes of training.
+	addrs := edge.SplitAddrs(*cloudAddr)
+	var cuts []core.CutPoint
+	if *cutsFlag != "" {
+		if len(addrs) != 1 {
+			return fmt.Errorf("-cuts needs exactly one -cloud address (the first stage hop), got %d", len(addrs))
+		}
+		if mode != edge.OffloadRaw {
+			return fmt.Errorf("-cuts relays stage activations through the chain; only -offload raw applies")
+		}
+		if cuts, err = deploy.ParseCuts(*cutsFlag); err != nil {
+			return err
+		}
+	}
+	if *replan && *cutsFlag == "" {
+		return fmt.Errorf("-replan moves the cut chain live; it needs -cuts to start from")
+	}
+	if *replanHyst <= 0 {
+		return fmt.Errorf("-replan-hysteresis %g, want > 0", *replanHyst)
+	}
+	if *chainFallback != "" && *cutsFlag == "" {
+		return fmt.Errorf("-chain-fallback arms the chain's degraded mode; it needs -cuts")
+	}
+	if *adminAddr != "" && len(addrs) < 2 {
+		return fmt.Errorf("-admin needs a multi-replica run (-cloud with ≥2 addresses)")
+	}
+
 	synth, err := deploy.GeneratePreset(*dataset, scale, *seed)
 	if err != nil {
 		return err
@@ -207,7 +260,6 @@ func run(args []string) error {
 	// by edge.MultiClient when there is more than one.
 	var client edge.CloudClient
 	var mc *edge.MultiClient
-	addrs := edge.SplitAddrs(*cloudAddr)
 	useCloud := len(addrs) > 0
 	if useCloud {
 		dcfg := edge.DialConfig{Link: netsim.Link{Latency: *latency, Mbps: *mbps}}
@@ -234,34 +286,68 @@ func run(args []string) error {
 	// the edge's own stage of the cut chain; offloads relay activations
 	// through the stage servers instead of shipping raw pixels.
 	if *cutsFlag != "" {
-		if len(addrs) != 1 {
-			return fmt.Errorf("-cuts needs exactly one -cloud address (the first stage hop), got %d", len(addrs))
-		}
-		if mode != edge.OffloadRaw {
-			return fmt.Errorf("-cuts relays stage activations through the chain; only -offload raw applies")
-		}
-		cuts, err := deploy.ParseCuts(*cutsFlag)
-		if err != nil {
-			return err
-		}
 		flat := core.FlattenChain(m.Main)
 		if int(cuts[0]) > len(flat) {
 			return fmt.Errorf("first cut %d is past the edge main block (%d units): the edge can only run main-block units locally",
 				cuts[0], len(flat))
 		}
-		local := nn.NewSequential("edge-stage0", flat[:cuts[0]]...)
-		cc, err := edge.NewChainClient(local, client.(*edge.TCPClient), 0)
+		var cc *edge.ChainClient
+		if *replan {
+			// Routed mode needs the FULL chain geometry — main block plus
+			// tail — so the re-solver can price every legal placement. The
+			// tail is built untrained: only its layer geometry enters the
+			// cost model, and MaxLocal pins the edge's span inside the main
+			// block, whose weights are the only ones it holds.
+			cls, err := deploy.BuildTailNet(rand.New(rand.NewSource(1)), m.MainOutChannels(), classes)
+			if err != nil {
+				return err
+			}
+			chainUnits := deploy.ServingChain(m, &cloud.Tail{Body: cls.Backbone, Exit: cls.Exit})
+			cc, err = edge.NewRoutedChainClient(client.(*edge.TCPClient), edge.ChainConfig{
+				Chain:    chainUnits,
+				Cuts:     cuts,
+				MaxLocal: len(flat),
+				Replan: edge.ReplanConfig{
+					Enabled:    true,
+					Hysteresis: *replanHyst,
+					In:         profile.Shape{C: synth.Train.C, H: synth.Train.H, W: synth.Train.W},
+				},
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "multi-hop chain (routed, re-placement beyond +%.0f%% modeled gain): edge runs units [0,%d) locally, relaying to %s (cuts %v)\n",
+				100**replanHyst, cuts[0], addrs[0], cuts)
+		} else {
+			local := nn.NewSequential("edge-stage0", flat[:cuts[0]]...)
+			cc, err = edge.NewChainClient(local, client.(*edge.TCPClient), 0)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "multi-hop chain: edge runs units [0,%d) locally, relaying to %s (cuts %v)\n",
+				cuts[0], addrs[0], cuts)
+		}
+		if *chainFallback != "" {
+			direct, err := edge.DialCloud(*chainFallback, edge.DialConfig{Link: netsim.Link{Latency: *latency, Mbps: *mbps}})
+			if err != nil {
+				return fmt.Errorf("dial chain fallback %s: %w", *chainFallback, err)
+			}
+			defer direct.Close()
+			cc.SetDirect(direct)
+			fmt.Fprintf(os.Stderr, "chain degraded mode armed: raw batches fall back to %s when the chain fails\n", *chainFallback)
+		}
+		// Probe the WHOLE chain before streaming: the dial-time ping only
+		// proves the first hop answers, while a mis-started chain (a hop with
+		// the wrong -cuts, a dead downstream) surfaces here with the failing
+		// hop named in the error.
+		hops, err := cc.ProbeChain()
 		if err != nil {
 			return err
 		}
+		fmt.Fprintf(os.Stderr, "chain probe: %d cloud hop(s) healthy end to end\n", hops)
 		client = cc
-		fmt.Fprintf(os.Stderr, "multi-hop chain: edge runs units [0,%d) locally, relaying to %s (cuts %v)\n",
-			cuts[0], addrs[0], cuts)
 	}
 	if *adminAddr != "" {
-		if mc == nil {
-			return fmt.Errorf("-admin needs a multi-replica run (-cloud with ≥2 addresses)")
-		}
 		ln, err := net.Listen("tcp", *adminAddr)
 		if err != nil {
 			return fmt.Errorf("admin listen: %w", err)
@@ -367,6 +453,14 @@ func run(args []string) error {
 	if *budget > 0 {
 		fmt.Printf("adaptation:       threshold %.3f (started %.3f), %d representation flips\n",
 			rep.Threshold, th, rep.RepFlips)
+	}
+	if rep.Chain != nil {
+		cs := rep.Chain
+		fmt.Printf("chain paths:      %d instances through the chain, %d via direct fallback, %d chain failures, %d direct failures\n",
+			cs.ChainInstances, cs.FallbackInstances, cs.ChainFailures, cs.DirectFailures)
+		if cs.Cuts != nil {
+			fmt.Printf("chain placement:  cuts %v after %d live move(s)\n", cs.Cuts, cs.CutMoves)
+		}
 	}
 	if useCloud {
 		if le, ok := client.(edge.LinkEstimator); ok {

@@ -131,11 +131,24 @@ type Server struct {
 	featBatch *batcher    // features-mode collector; nil unless batching and feat are both on
 	shedPol   *ShedPolicy // nil when admission control is disabled
 
-	// Stage-server mode (WithStage): all three are fixed before Listen and
+	// Stage-server mode (WithStage): all four are fixed before Listen and
 	// read-only afterwards, like raw/feat above.
-	stage         nn.Layer   // chain stage served on MsgRelay; nil = stage mode off
-	downstream    Downstream // next hop transport; nil = terminal hop
-	stageInflight int        // per-connection relay dispatch bound
+	stage         nn.Layer      // static chain stage served on MsgRelay; nil with chain = routed-only hop
+	chain         []nn.Layer    // full serving chain for source-routed relays; nil = routed mode off
+	stageInflight int           // per-connection relay dispatch bound
+	failureExcl   time.Duration // downstream transport-failure exclusion window
+
+	// Downstream failover entries (stage.go): the downs slice header is
+	// fixed at config time and safe to read unlocked; downMu serializes
+	// failover selection and each entry's exclusion-window fields (until,
+	// shed). Empty downs = terminal hop.
+	downMu sync.Mutex
+	downs  []*downstreamState
+
+	// Measured stage service time piggybacked on relay replies (stage.go).
+	svcMu      sync.Mutex // guards svcEWMA, svcSamples
+	svcEWMA    float64    // queue-normalized per-instance seconds
+	svcSamples int
 
 	mu     sync.Mutex // guards ln, conns, closed
 	ln     net.Listener
@@ -143,16 +156,17 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	requests   atomic.Uint64
-	errorCount atomic.Uint64
-	bytesIn    atomic.Uint64
-	bytesOut   atomic.Uint64
-	active     atomic.Int64
-	total      atomic.Uint64
-	inflight   atomic.Int64  // requests currently being dispatched
-	sheds      atomic.Uint64 // classify frames refused by admission control
-	instServed atomic.Uint64 // instances classified (batch frames count their size)
-	relayed    atomic.Uint64 // instances forwarded downstream by a non-terminal stage
+	requests    atomic.Uint64
+	errorCount  atomic.Uint64
+	bytesIn     atomic.Uint64
+	bytesOut    atomic.Uint64
+	active      atomic.Int64
+	total       atomic.Uint64
+	inflight    atomic.Int64  // requests currently being dispatched
+	sheds       atomic.Uint64 // classify frames refused by admission control
+	instServed  atomic.Uint64 // instances classified (batch frames count their size)
+	relayed     atomic.Uint64 // instances forwarded downstream by a non-terminal stage
+	relayActive atomic.Int64  // relay stage forwards running right now (svcEWMA normalization)
 }
 
 // Option configures optional server behaviour.
@@ -196,7 +210,7 @@ func NewServer(raw Model, tail *Tail, opts ...Option) (*Server, error) {
 	for _, opt := range opts {
 		opt(s)
 	}
-	if s.raw == nil && s.stage == nil {
+	if s.raw == nil && !s.stageMode() {
 		return nil, errors.New("cloud: nil classifier")
 	}
 	return s, nil
@@ -393,7 +407,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	// lockstep — while sharing the collector's inflight channel would let
 	// slow relays starve micro-batch fills (and vice versa).
 	var relayInflight chan struct{}
-	if s.stage != nil {
+	if s.stageMode() {
 		relayInflight = make(chan struct{}, s.stageInflight)
 	}
 	writeResp := func(resp protocol.Frame) {
@@ -421,7 +435,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		// Full frame size, header included: the client's BytesSent counter
 		// accounts whole frames, and the two ends must agree bitwise.
 		s.bytesIn.Add(uint64(protocol.FrameWireSize(len(f.Payload))))
-		if isClassify(f.Type) && s.shouldShed() {
+		if isClassify(f.Type) && !isRelayProbe(f) && s.shouldShed() {
 			// Admission control: answer with a shed frame — the retry-after
 			// hint plus the load snapshot that triggered it — and never park
 			// or dispatch the work. The payload was already read (framing
@@ -439,7 +453,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			})
 			continue
 		}
-		if f.Type == protocol.MsgRelay && s.stage != nil {
+		if (f.Type == protocol.MsgRelay || f.Type == protocol.MsgRelayRoute) && s.stageMode() {
 			// Keep reading while the stage (and any downstream hops) work on
 			// this batch, so one pipelined upstream connection keeps every
 			// hop of the chain busy at once. Same wait-group safety argument
@@ -487,19 +501,26 @@ func (s *Server) capabilities() protocol.Capabilities {
 
 // isClassify reports whether a frame type carries classification work — the
 // frames admission control may shed (pings and unknown types never are).
-// Relay frames carry exactly one stage of classification work, so a
-// saturated hop sheds them like any other classify; the shed propagates back
-// along the chain as a downstream error and the edge falls back per
-// instance.
+// Relay frames — static and routed — carry exactly one stage of
+// classification work, so a saturated hop sheds them like any other classify;
+// the shed propagates back along the chain as a MsgShed and the edge takes
+// its zero-charge hold.
 func isClassify(t protocol.MsgType) bool {
 	switch t {
 	case protocol.MsgClassifyRaw, protocol.MsgClassifyFeat,
 		protocol.MsgClassifyBatch, protocol.MsgClassifyFeatBatch,
-		protocol.MsgRelay:
+		protocol.MsgRelay, protocol.MsgRelayRoute:
 		return true
 	default:
 		return false
 	}
+}
+
+// isRelayProbe reports whether a frame is a zero-instance chain probe. Like
+// pings, probes are never shed: health checks must work exactly when the
+// server is busiest.
+func isRelayProbe(f protocol.Frame) bool {
+	return f.Type == protocol.MsgRelay && protocol.IsRelayProbe(f.Payload)
 }
 
 // dispatch computes the response frame for a request frame.
@@ -543,13 +564,18 @@ func (s *Server) dispatch(f protocol.Frame) protocol.Frame {
 		}
 		return s.classifyBatchFrame(f, s.featLogits)
 	case protocol.MsgRelay:
-		if s.stage == nil {
+		if !s.stageMode() {
 			// The stage-mode analogue of the MsgHello legacy contract: a
 			// server without a configured stage (or predating the frame
 			// entirely) answers MsgError, and the chain client surfaces it.
 			return errorFrame(f.ID, "stage mode not supported by this server")
 		}
 		return s.relayFrame(f)
+	case protocol.MsgRelayRoute:
+		if len(s.chain) == 0 {
+			return errorFrame(f.ID, "routed relay not supported by this server")
+		}
+		return s.routedFrame(f)
 	default:
 		return errorFrame(f.ID, fmt.Sprintf("unsupported message type %s", f.Type))
 	}

@@ -1,19 +1,41 @@
 package cloud
 
 // Stage-server mode: a server configured with WithStage participates in a
-// multi-hop partitioned deployment (core.Partition). It accepts MsgRelay
-// frames carrying an NCHW activation batch, runs its stage of the chain, and
-// either forwards the stage outputs to the next hop through a Downstream
-// transport or — at the terminal hop — argmaxes the logits and answers with
-// the usual MsgResultBatch (the SAME post-processing as classifyBatchFrame,
-// so chained predictions are bitwise identical to the monolithic forward).
-// Results from downstream propagate back along the chain; every hop stamps
-// its own LoadStatus on the reply, so the upstream transport's per-hop link
-// estimation and backpressure signals keep working unchanged.
+// multi-hop partitioned deployment (core.Partition). Two chain flavours share
+// the machinery:
+//
+//   - STATIC chains (MsgRelay, PR 9): the hop runs its configured Stage and
+//     forwards the outputs downstream, or — at the terminal hop — argmaxes
+//     the logits and answers with the usual MsgResultBatch (the SAME
+//     post-processing as classifyBatchFrame, so chained predictions are
+//     bitwise identical to the monolithic forward).
+//   - SOURCE-ROUTED chains (MsgRelayRoute): every hop holds the FULL serving
+//     chain and runs whatever unit span the frame's route assigns it. The
+//     cuts live in the frame, not in server config, which is what lets the
+//     edge's live re-placement solver move a cut mid-run: in-flight frames
+//     complete on the old route while new frames ship the new one, and no
+//     server is reconfigured.
+//
+// Downstream is an ordered FAILOVER set (PR 6 exclusion-window semantics): a
+// hop that cannot reach its preferred next hop tries the alternates in order,
+// so a chain heals hop-locally while the edge keeps serving. A shed from
+// downstream propagates upstream as MsgShed — the zero-charge hold signal —
+// never as a generic error. Every relay reply piggybacks a per-hop
+// StageStatus vector (measured stage service time + the hop's own downstream
+// link estimate), the telemetry the edge's re-placement solver runs on.
+//
+// This package deliberately depends only on the Downstream interfaces, never
+// on the edge package; shed-ness of a downstream error is detected through
+// errors.Is against core.ErrShed and the optional RetryAfterHint method,
+// both satisfied by edge.ShedError.
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
+	"github.com/meanet/meanet/internal/core"
+	"github.com/meanet/meanet/internal/linkest"
 	"github.com/meanet/meanet/internal/nn"
 	"github.com/meanet/meanet/internal/protocol"
 	"github.com/meanet/meanet/internal/tensor"
@@ -29,14 +51,56 @@ type Downstream interface {
 	RelayActivations(batch *tensor.Tensor, ttl uint8) ([]protocol.Result, error)
 }
 
+// downstreamStatus is the status-aware flavour of Downstream: the reply's
+// piggybacked per-hop StageStatus vector comes back with the results.
+// Optional — a transport without it still chains, with no telemetry.
+type downstreamStatus interface {
+	RelayActivationsStatus(batch *tensor.Tensor, ttl uint8) ([]protocol.Result, []protocol.StageStatus, error)
+}
+
+// downstreamRouted forwards a source-routed relay frame (MsgRelayRoute).
+// Optional — required only on hops of a routed chain.
+type downstreamRouted interface {
+	RelayRouted(batch *tensor.Tensor, ttl uint8, pos int, bounds []int) ([]protocol.Result, []protocol.StageStatus, error)
+}
+
+// downstreamProbe forwards a zero-instance chain probe.
+type downstreamProbe interface {
+	RelayProbe(ttl uint8) ([]protocol.StageStatus, error)
+}
+
+// downstreamLink exposes the transport's live link estimate, reported in this
+// hop's own StageStatus entry so the edge solver sees every inter-hop link.
+type downstreamLink interface {
+	LinkEstimate() linkest.Estimate
+}
+
+// retryAfterHint extracts the hold hint a shed error carries upstream
+// (edge.ShedError implements it).
+type retryAfterHint interface{ RetryAfterHint() time.Duration }
+
 // StageConfig configures a server's role in a relay chain.
 type StageConfig struct {
-	// Stage is the chain stage this hop runs (required; typically one of the
-	// *nn.Sequential stages core.Partition returns).
+	// Stage is the chain stage this hop runs on STATIC relay frames
+	// (MsgRelay; typically one of the *nn.Sequential stages core.Partition
+	// returns). May be nil on a routed-only hop.
 	Stage nn.Layer
-	// Downstream, when non-nil, receives this stage's output activations;
-	// nil marks the terminal hop, which converts logits to results itself.
+	// Chain is the FULL serving chain at unit granularity
+	// (core.FlattenChain), enabling source-routed relay frames
+	// (MsgRelayRoute): the hop runs whatever span each frame's route assigns
+	// it. May be nil on a static-only hop. At least one of Stage and Chain
+	// must be set for stage mode.
+	Chain []nn.Layer
+	// Downstream, when non-nil, is shorthand for the first (preferred) entry
+	// of Downstreams.
 	Downstream Downstream
+	// Downstreams is the ordered failover set this hop forwards through:
+	// entries are tried in order, an entry that fails is excluded for a
+	// window (sheds: the carried retry-after; transport failures:
+	// FailureExclusion) and the next is tried — the PR 6 replica-exclusion
+	// semantics applied hop-locally. Empty (and Downstream nil) marks the
+	// terminal hop.
+	Downstreams []Downstream
 	// MaxInFlight bounds concurrent relay dispatches per connection
 	// (default 16). Relay dispatches run concurrently — a non-terminal hop
 	// BLOCKS on its downstream round trip, and handling relays inline would
@@ -44,15 +108,42 @@ type StageConfig struct {
 	// lockstep — so the bound is what turns a fast upstream into TCP
 	// backpressure instead of an unbounded goroutine/tensor backlog.
 	MaxInFlight int
+	// FailureExclusion is how long a downstream that failed at the transport
+	// level is excluded from failover selection (default 250ms — long enough
+	// to stop hammering a dead peer, short enough that a restarted hop is
+	// back in rotation within a blink).
+	FailureExclusion time.Duration
 }
 
 func (c *StageConfig) fillDefaults() {
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 16
 	}
+	if c.FailureExclusion <= 0 {
+		c.FailureExclusion = 250 * time.Millisecond
+	}
 }
 
-// WithStage enables stage-server mode: MsgRelay frames run cfg.Stage and
+// defaultDownstreamRetry is the hold hint propagated upstream when a
+// downstream shed carried none.
+const defaultDownstreamRetry = 50 * time.Millisecond
+
+// Queue-normalized stage service-time EWMA (the PR 8 svcEWMA shape).
+const (
+	stageServiceAlpha      = 0.3
+	minStageServiceSamples = 3
+)
+
+// downstreamState is one failover entry plus its exclusion window; the slice
+// of entries is fixed at config time, only the window fields mutate.
+type downstreamState struct {
+	d     Downstream
+	until time.Time // exclusion window end; zero or past = open
+	shed  bool      // current window caused only by sheds
+}
+
+// WithStage enables stage-server mode: MsgRelay frames run cfg.Stage,
+// MsgRelayRoute frames run route-assigned spans of cfg.Chain, and both
 // forward downstream (or terminate the chain). A server may combine a stage
 // with raw/tail models and serve all frame types; a pure relay hop passes
 // nil models to NewServer.
@@ -60,19 +151,203 @@ func WithStage(cfg StageConfig) Option {
 	cfg.fillDefaults()
 	return func(s *Server) {
 		s.stage = cfg.Stage
-		s.downstream = cfg.Downstream
+		s.chain = cfg.Chain
 		s.stageInflight = cfg.MaxInFlight
+		s.failureExcl = cfg.FailureExclusion
+		s.downs = nil
+		if cfg.Downstream != nil {
+			s.downs = append(s.downs, &downstreamState{d: cfg.Downstream})
+		}
+		for _, d := range cfg.Downstreams {
+			if d != nil {
+				s.downs = append(s.downs, &downstreamState{d: d})
+			}
+		}
 	}
 }
 
-// stageForward runs the stage on an NCHW activation batch in eval mode.
+// stageForward runs the static stage on an NCHW activation batch in eval mode.
 func (s *Server) stageForward(x *tensor.Tensor) *tensor.Tensor { return s.stage.Forward(x, false) }
 
-// relayFrame serves one MsgRelay frame: decode the activation batch, run the
-// stage, then either answer with terminal results or forward downstream and
-// relay the answers back. Reached only with a stage configured (dispatch
-// answers MsgError otherwise, the legacy-server contract).
+// stageMode reports whether this server serves relay frames at all.
+func (s *Server) stageMode() bool { return s.stage != nil || len(s.chain) > 0 }
+
+// timedStageForward runs one relay forward pass and folds its duration into
+// the service-time EWMA, normalized by how many relay dispatches shared the
+// cores while it ran.
+func (s *Server) timedStageForward(run func(*tensor.Tensor) *tensor.Tensor, x *tensor.Tensor, n int) (*tensor.Tensor, error) {
+	active := s.relayActive.Add(1)
+	start := time.Now()
+	out, err := safeLogits(run, x)
+	dur := time.Since(start)
+	s.relayActive.Add(-1)
+	if err == nil {
+		s.noteStageService(dur, n, active)
+	}
+	return out, err
+}
+
+// noteStageService folds one measured stage forward into the EWMA piggybacked
+// on relay replies. The sample is per-instance wall time divided by the relay
+// dispatches in flight (the PR 8 queue-normalized shape): a contended hop
+// reports its true per-instance cost, not its queueing delay, so the edge
+// solver doesn't misread upstream congestion as a slow device.
+func (s *Server) noteStageService(dur time.Duration, instances int, active int64) {
+	if instances <= 0 || dur <= 0 {
+		return
+	}
+	sample := dur.Seconds() / float64(instances)
+	if active > 1 {
+		sample /= float64(active)
+	}
+	s.svcMu.Lock()
+	if s.svcSamples == 0 {
+		s.svcEWMA = sample
+	} else {
+		s.svcEWMA = stageServiceAlpha*sample + (1-stageServiceAlpha)*s.svcEWMA
+	}
+	s.svcSamples++
+	s.svcMu.Unlock()
+}
+
+// stageStatus assembles this hop's StageStatus entry for a relay reply. used
+// is the downstream the frame was forwarded through (nil at the terminal
+// hop); its live link estimate becomes the hop's reported downstream link.
+func (s *Server) stageStatus(used Downstream) protocol.StageStatus {
+	var st protocol.StageStatus
+	s.svcMu.Lock()
+	if s.svcSamples >= minStageServiceSamples {
+		st.ServiceNanos = uint64(s.svcEWMA * 1e9)
+	}
+	s.svcMu.Unlock()
+	if dl, ok := used.(downstreamLink); ok {
+		est := dl.LinkEstimate()
+		if est.Mbps > 0 {
+			st.DownMbps = float32(est.Mbps)
+		}
+		if est.RTT > 0 {
+			st.DownRTTNanos = uint64(est.RTT)
+		}
+	}
+	return st
+}
+
+// downOrder snapshots the failover order: open entries first (config order),
+// then excluded entries as a last resort — with no healthy alternate it is
+// better to retry an excluded hop than to fail the frame outright.
+func (s *Server) downOrder() []int {
+	now := time.Now()
+	s.downMu.Lock()
+	defer s.downMu.Unlock()
+	order := make([]int, 0, len(s.downs))
+	var excluded []int
+	for i, ds := range s.downs {
+		if now.Before(ds.until) {
+			excluded = append(excluded, i)
+		} else {
+			order = append(order, i)
+		}
+	}
+	return append(order, excluded...)
+}
+
+// excludeDown opens or extends entry i's exclusion window after a failed
+// attempt. Windows EXTEND, never shorten (the PR 6 invariant: overlapping
+// failures only push the reopen time out), and the shed flag stays true only
+// while EVERY failure inside the current window was a shed — one transport
+// failure relabels the window until it lapses.
+func (s *Server) excludeDown(i int, window time.Duration, shedOrigin bool) {
+	now := time.Now()
+	s.downMu.Lock()
+	ds := s.downs[i]
+	if now.Before(ds.until) {
+		ds.shed = ds.shed && shedOrigin
+	} else {
+		ds.shed = shedOrigin
+	}
+	if u := now.Add(window); u.After(ds.until) {
+		ds.until = u
+	}
+	s.downMu.Unlock()
+}
+
+// tryDownstreams runs attempt against each downstream in failover order until
+// one succeeds, excluding the ones that fail. On total failure it reports
+// whether EVERY attempt was refused by admission control (shed) — the caller
+// must then answer MsgShed, preserving the zero-charge hold contract along
+// the whole chain — plus the largest retry-after hint seen.
+func (s *Server) tryDownstreams(attempt func(d Downstream) error) (used Downstream, shed bool, retryAfter time.Duration, err error) {
+	allShed := true
+	var firstErr error
+	for _, i := range s.downOrder() {
+		d := s.downs[i].d
+		aerr := attempt(d)
+		if aerr == nil {
+			return d, false, 0, nil
+		}
+		isShed := errors.Is(aerr, core.ErrShed)
+		window := s.failureExcl
+		if isShed {
+			window = defaultDownstreamRetry
+			var h retryAfterHint
+			if errors.As(aerr, &h) {
+				if ra := h.RetryAfterHint(); ra > 0 {
+					window = ra
+					if ra > retryAfter {
+						retryAfter = ra
+					}
+				}
+			}
+		}
+		allShed = allShed && isShed
+		s.excludeDown(i, window, isShed)
+		if firstErr == nil {
+			firstErr = aerr
+		}
+	}
+	if retryAfter <= 0 {
+		retryAfter = defaultDownstreamRetry
+	}
+	return nil, allShed, retryAfter, firstErr
+}
+
+// shedFrame answers a frame with a MsgShed reply carrying the hold hint and
+// this hop's load snapshot.
+func (s *Server) shedFrame(id uint64, retryAfter time.Duration) protocol.Frame {
+	return protocol.Frame{
+		Type:    protocol.MsgShed,
+		ID:      id,
+		Payload: protocol.EncodeShed(retryAfter, s.loadStatus()),
+	}
+}
+
+// chainReply assembles the MsgResultBatch reply of a relay frame: results,
+// this hop's load snapshot, and the per-hop status vector with this hop's
+// entry PREPENDED to whatever the downstream reported — so the edge receives
+// hop-ordered telemetry with zero extra round trips.
+func (s *Server) chainReply(id uint64, results []protocol.Result, used Downstream, downHops []protocol.StageStatus) protocol.Frame {
+	hops := append([]protocol.StageStatus{s.stageStatus(used)}, downHops...)
+	return protocol.Frame{
+		Type:    protocol.MsgResultBatch,
+		ID:      id,
+		Payload: protocol.EncodeResultsChain(results, s.loadStatus(), hops),
+	}
+}
+
+// relayFrame serves one MsgRelay frame: a zero-instance probe traverses the
+// chain without running any stage; an activation batch runs the static stage,
+// then either terminates the chain or forwards downstream with failover.
+// Reached only in stage mode (dispatch answers MsgError otherwise, the
+// legacy-server contract).
 func (s *Server) relayFrame(f protocol.Frame) protocol.Frame {
+	if protocol.IsRelayProbe(f.Payload) {
+		ttl, _ := protocol.DecodeRelayProbe(f.Payload)
+		return s.probeFrame(f.ID, ttl)
+	}
+	if s.stage == nil {
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, "static relay not supported by this hop (source-routed chain; send MsgRelayRoute)")
+	}
 	ttl, t, err := protocol.DecodeActivation(f.Payload)
 	if err != nil {
 		s.errorCount.Add(1)
@@ -82,47 +357,193 @@ func (s *Server) relayFrame(f protocol.Frame) protocol.Frame {
 		s.errorCount.Add(1)
 		return errorFrame(f.ID, fmt.Sprintf("expected NCHW activation tensor, got rank %d", t.Dims()))
 	}
-	if s.downstream != nil && ttl == 0 {
+	if len(s.downs) > 0 && ttl == 0 {
 		// The TTL guards against relay cycles (a chain misconfigured into a
 		// loop would otherwise circulate frames forever): refuse to forward
 		// rather than decrement below zero.
 		s.errorCount.Add(1)
 		return errorFrame(f.ID, "relay TTL exhausted (chain cycle or more hops than the sender allowed)")
 	}
-	out, err := safeLogits(s.stageForward, t)
+	n := t.Dim(0)
+	out, err := s.timedStageForward(s.stageForward, t, n)
 	if err != nil {
 		s.errorCount.Add(1)
 		return errorFrame(f.ID, err.Error())
 	}
-	n := t.Dim(0)
-	var results []protocol.Result
-	if s.downstream == nil {
+	if len(s.downs) == 0 {
 		// Terminal hop: identical post-processing to classifyBatchFrame, so a
 		// chained forward answers bitwise like the monolithic server would.
-		results = make([]protocol.Result, n)
+		results := make([]protocol.Result, n)
 		for i := range results {
 			pred, conf := argmaxRow(out.Row(i))
 			results[i] = protocol.Result{Pred: int32(pred), Conf: conf}
 		}
 		s.instServed.Add(uint64(n))
-	} else {
-		results, err = s.downstream.RelayActivations(out, ttl-1)
-		if err != nil {
-			// Any downstream failure — transport death, a shed, a legacy next
-			// hop — surfaces to the upstream as an error frame; the chain
-			// client maps it onto its instances, which fall back to the edge.
-			s.errorCount.Add(1)
-			return errorFrame(f.ID, fmt.Sprintf("downstream relay: %v", err))
-		}
-		if len(results) != n {
-			s.errorCount.Add(1)
-			return errorFrame(f.ID, fmt.Sprintf("downstream returned %d results for %d instances", len(results), n))
-		}
-		s.relayed.Add(uint64(n))
+		return s.chainReply(f.ID, results, nil, nil)
 	}
-	return protocol.Frame{
-		Type:    protocol.MsgResultBatch,
-		ID:      f.ID,
-		Payload: protocol.EncodeResultsLoad(results, s.loadStatus()),
+	var results []protocol.Result
+	var downHops []protocol.StageStatus
+	used, shed, retryAfter, err := s.tryDownstreams(func(d Downstream) error {
+		if ds, ok := d.(downstreamStatus); ok {
+			rs, hs, aerr := ds.RelayActivationsStatus(out, ttl-1)
+			if aerr != nil {
+				return aerr
+			}
+			results, downHops = rs, hs
+			return nil
+		}
+		rs, aerr := d.RelayActivations(out, ttl-1)
+		if aerr != nil {
+			return aerr
+		}
+		results, downHops = rs, nil
+		return nil
+	})
+	if err != nil {
+		if shed {
+			// Every reachable next hop refused by admission control: the
+			// refusal — not a failure — propagates upstream as MsgShed so the
+			// edge takes its zero-charge hold instead of charging a retry.
+			return s.shedFrame(f.ID, retryAfter)
+		}
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, fmt.Sprintf("downstream relay: %v", err))
 	}
+	if len(results) != n {
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, fmt.Sprintf("downstream returned %d results for %d instances", len(results), n))
+	}
+	s.relayed.Add(uint64(n))
+	return s.chainReply(f.ID, results, used, downHops)
+}
+
+// probeFrame serves a zero-instance chain probe: no stage runs; a terminal
+// hop answers an empty result batch carrying its own status, a forwarding hop
+// relays the probe downstream (with failover) and prepends its status — so
+// one probe verifies every transport leg and returns the full per-hop
+// telemetry vector.
+func (s *Server) probeFrame(id uint64, ttl uint8) protocol.Frame {
+	if len(s.downs) == 0 {
+		return s.chainReply(id, nil, nil, nil)
+	}
+	if ttl == 0 {
+		s.errorCount.Add(1)
+		return errorFrame(id, "relay TTL exhausted (chain cycle or more hops than the sender allowed)")
+	}
+	var downHops []protocol.StageStatus
+	used, shed, retryAfter, err := s.tryDownstreams(func(d Downstream) error {
+		dp, ok := d.(downstreamProbe)
+		if !ok {
+			return errors.New("downstream transport does not support chain probes")
+		}
+		hs, aerr := dp.RelayProbe(ttl - 1)
+		if aerr != nil {
+			return aerr
+		}
+		downHops = hs
+		return nil
+	})
+	if err != nil {
+		if shed {
+			return s.shedFrame(id, retryAfter)
+		}
+		s.errorCount.Add(1)
+		return errorFrame(id, fmt.Sprintf("downstream relay: %v", err))
+	}
+	return s.chainReply(id, nil, used, downHops)
+}
+
+// spanForward composes a chain unit span in eval mode.
+func spanForward(units []nn.Layer) func(*tensor.Tensor) *tensor.Tensor {
+	return func(x *tensor.Tensor) *tensor.Tensor {
+		for _, u := range units {
+			x = u.Forward(x, false)
+		}
+		return x
+	}
+}
+
+// routedFrame serves one MsgRelayRoute frame: run the unit span the route
+// assigns this hop, then forward with the leading boundary consumed — or,
+// when no boundaries remain, terminate the chain for THIS frame. The cuts
+// travel with the frame, so two frames on the same connection may run
+// different spans here: exactly what a live cut move looks like mid-drain.
+func (s *Server) routedFrame(f protocol.Frame) protocol.Frame {
+	ttl, pos, bounds, t, err := protocol.DecodeRoutedActivation(f.Payload)
+	if err != nil {
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, err.Error())
+	}
+	if t.Dims() < 2 {
+		// Routed cuts may sit past the flattening layers, so rank-2
+		// [batch, features] activations are as legal as NCHW here — the only
+		// requirement is a batch dimension to count instances by.
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, fmt.Sprintf("expected batched activation tensor, got rank %d", t.Dims()))
+	}
+	L := len(s.chain)
+	if pos >= L {
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, fmt.Sprintf("route position %d past serving chain of %d units", pos, L))
+	}
+	if len(bounds) > 0 && bounds[len(bounds)-1] >= L {
+		// Catch a bad route here rather than hops later: boundaries are
+		// strictly increasing, so checking the last covers them all.
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, fmt.Sprintf("route boundary %d past serving chain of %d units", bounds[len(bounds)-1], L))
+	}
+	next := L
+	if len(bounds) > 0 {
+		next = bounds[0]
+		if ttl == 0 {
+			s.errorCount.Add(1)
+			return errorFrame(f.ID, "relay TTL exhausted (chain cycle or more hops than the sender allowed)")
+		}
+		if len(s.downs) == 0 {
+			s.errorCount.Add(1)
+			return errorFrame(f.ID, fmt.Sprintf("route continues past this hop (%d boundaries left) but no downstream is configured", len(bounds)))
+		}
+	}
+	n := t.Dim(0)
+	out, err := s.timedStageForward(spanForward(s.chain[pos:next]), t, n)
+	if err != nil {
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, err.Error())
+	}
+	if len(bounds) == 0 {
+		results := make([]protocol.Result, n)
+		for i := range results {
+			pred, conf := argmaxRow(out.Row(i))
+			results[i] = protocol.Result{Pred: int32(pred), Conf: conf}
+		}
+		s.instServed.Add(uint64(n))
+		return s.chainReply(f.ID, results, nil, nil)
+	}
+	var results []protocol.Result
+	var downHops []protocol.StageStatus
+	used, shed, retryAfter, err := s.tryDownstreams(func(d Downstream) error {
+		dr, ok := d.(downstreamRouted)
+		if !ok {
+			return errors.New("downstream transport does not support routed relay")
+		}
+		rs, hs, aerr := dr.RelayRouted(out, ttl-1, bounds[0], bounds[1:])
+		if aerr != nil {
+			return aerr
+		}
+		results, downHops = rs, hs
+		return nil
+	})
+	if err != nil {
+		if shed {
+			return s.shedFrame(f.ID, retryAfter)
+		}
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, fmt.Sprintf("downstream relay: %v", err))
+	}
+	if len(results) != n {
+		s.errorCount.Add(1)
+		return errorFrame(f.ID, fmt.Sprintf("downstream returned %d results for %d instances", len(results), n))
+	}
+	s.relayed.Add(uint64(n))
+	return s.chainReply(f.ID, results, used, downHops)
 }

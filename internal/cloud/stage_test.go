@@ -1,9 +1,12 @@
 package cloud
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/meanet/meanet/internal/core"
 	"github.com/meanet/meanet/internal/edge"
@@ -163,6 +166,200 @@ func TestRelayRejectsMalformedPayloads(t *testing.T) {
 	}
 	if resp := s.dispatch(protocol.Frame{Type: protocol.MsgRelay, ID: 8, Payload: []byte{1, 2}}); resp.Type != protocol.MsgError {
 		t.Fatalf("garbage relay payload answered with %s", resp.Type)
+	}
+}
+
+// In-process fake downstreams for the failover and shed-propagation tests.
+// They implement only the base Downstream interface — the failover machinery
+// must work against a minimal transport.
+
+// failingDown fails every attempt at the transport level.
+type failingDown struct{ calls atomic.Int64 }
+
+func (d *failingDown) RelayActivations(*tensor.Tensor, uint8) ([]protocol.Result, error) {
+	d.calls.Add(1)
+	return nil, errors.New("dial tcp: connection refused (test stand-in)")
+}
+
+// sheddingDown refuses every attempt by admission control, carrying a hint.
+type sheddingDown struct {
+	retry time.Duration
+	calls atomic.Int64
+}
+
+func (d *sheddingDown) RelayActivations(*tensor.Tensor, uint8) ([]protocol.Result, error) {
+	d.calls.Add(1)
+	return nil, &edge.ShedError{RetryAfter: d.retry}
+}
+
+// okDown terminates the chain in-process with zeroed results.
+type okDown struct{ calls atomic.Int64 }
+
+func (d *okDown) RelayActivations(batch *tensor.Tensor, _ uint8) ([]protocol.Result, error) {
+	d.calls.Add(1)
+	return make([]protocol.Result, batch.Dim(0)), nil
+}
+
+// relayBatch hand-builds a one-instance static relay frame for dispatch-level
+// failover tests.
+func relayBatch(rng *rand.Rand, id uint64) protocol.Frame {
+	return protocol.Frame{
+		Type:    protocol.MsgRelay,
+		ID:      id,
+		Payload: protocol.EncodeActivation(4, tensor.Randn(rng, 1, 1, 3, 8, 8)),
+	}
+}
+
+// TestRelaySlotReleasedOnDownstreamError pins the MaxInFlight accounting on
+// the failure path: with a single relay slot and a dead downstream, every
+// sequential relay must still be ANSWERED (with the downstream error), not
+// parked behind a leaked slot. Before reading this as trivial, note the slot
+// is taken in the read loop and released in a deferred recv on the dispatch
+// goroutine — this test is what keeps that pairing honest.
+func TestRelaySlotReleasedOnDownstreamError(t *testing.T) {
+	down := &failingDown{}
+	s, err := NewServer(nil, nil, WithStage(StageConfig{
+		Stage:       nn.Identity{},
+		Downstream:  down,
+		MaxInFlight: 1,
+		// Keep the dead downstream in a permanent exclusion window so every
+		// frame exercises the last-resort retry path too.
+		FailureExclusion: time.Hour,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	client, err := edge.DialCloud(s.Addr().String(), edge.DialConfig{RequestTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	rng := rand.New(rand.NewSource(49))
+	batch := tensor.Randn(rng, 1, 1, 3, 8, 8)
+	for i := 0; i < 3; i++ {
+		_, err := client.RelayActivations(batch, 4)
+		if err == nil || !strings.Contains(err.Error(), "downstream relay") {
+			t.Fatalf("relay %d: want the downstream error surfaced promptly, got %v", i, err)
+		}
+	}
+	if got := down.calls.Load(); got != 3 {
+		t.Fatalf("dead downstream attempted %d times for 3 relays", got)
+	}
+}
+
+// TestDownstreamShedPropagatesAsShed pins the chain shed contract end to end:
+// a downstream refusal by admission control must come back upstream as
+// MsgShed — errors.Is(_, ErrShed) with the RetryAfter hint preserved — never
+// as a generic MsgError, or the edge would charge a failure (and burn a
+// retry) for what is a zero-charge hold.
+func TestDownstreamShedPropagatesAsShed(t *testing.T) {
+	const hint = 40 * time.Millisecond
+	down := &sheddingDown{retry: hint}
+	s, err := NewServer(nil, nil, WithStage(StageConfig{Stage: nn.Identity{}, Downstream: down}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	client, err := edge.DialCloud(s.Addr().String(), edge.DialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	rng := rand.New(rand.NewSource(50))
+	_, err = client.RelayActivations(tensor.Randn(rng, 1, 1, 3, 8, 8), 4)
+	if !errors.Is(err, edge.ErrShed) {
+		t.Fatalf("downstream shed surfaced as a non-shed error: %v", err)
+	}
+	var se *edge.ShedError
+	if !errors.As(err, &se) {
+		t.Fatalf("shed error lost its type through the chain: %v", err)
+	}
+	if se.RetryAfter != hint {
+		t.Fatalf("retry-after hint %v survived the hop as %v", hint, se.RetryAfter)
+	}
+}
+
+// TestDownstreamFailoverOrderAndExclusion drives tryDownstreams through the
+// PR 6 exclusion semantics applied hop-locally: a failed preferred entry is
+// excluded and the alternate serves; while the window holds, the alternate is
+// tried FIRST (the dead entry is not hammered); and when both downstreams
+// shed, the hop answers MsgShed carrying the LARGEST hint.
+func TestDownstreamFailoverOrderAndExclusion(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	bad, good := &failingDown{}, &okDown{}
+	s, err := NewServer(nil, nil, WithStage(StageConfig{
+		Stage:            nn.Identity{},
+		Downstreams:      []Downstream{bad, good},
+		FailureExclusion: time.Hour, // window must outlive the test
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First frame: the preferred entry fails, the alternate serves it.
+	if resp := s.dispatch(relayBatch(rng, 1)); resp.Type != protocol.MsgResultBatch {
+		t.Fatalf("failover frame answered with %s %q", resp.Type, resp.Payload)
+	}
+	if bad.calls.Load() != 1 || good.calls.Load() != 1 {
+		t.Fatalf("first frame attempts: bad %d, good %d (want 1, 1)", bad.calls.Load(), good.calls.Load())
+	}
+	// While the exclusion window holds, the healthy entry is preferred and
+	// the dead one is never re-attempted (it would only be retried as a last
+	// resort if the healthy one also failed).
+	for id := uint64(2); id <= 4; id++ {
+		if resp := s.dispatch(relayBatch(rng, id)); resp.Type != protocol.MsgResultBatch {
+			t.Fatalf("frame %d answered with %s %q", id, resp.Type, resp.Payload)
+		}
+	}
+	if bad.calls.Load() != 1 || good.calls.Load() != 4 {
+		t.Fatalf("excluded entry re-attempted: bad %d, good %d (want 1, 4)", bad.calls.Load(), good.calls.Load())
+	}
+
+	// All-shed hop: the refusal propagates as MsgShed with the largest hint,
+	// and BOTH entries were offered the frame before the hop gave up.
+	shedA, shedB := &sheddingDown{retry: 30 * time.Millisecond}, &sheddingDown{retry: 70 * time.Millisecond}
+	s2, err := NewServer(nil, nil, WithStage(StageConfig{
+		Stage:       nn.Identity{},
+		Downstreams: []Downstream{shedA, shedB},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := s2.dispatch(relayBatch(rng, 5))
+	if resp.Type != protocol.MsgShed {
+		t.Fatalf("all-shed chain answered with %s %q, want MsgShed", resp.Type, resp.Payload)
+	}
+	retryAfter, _, _, err := protocol.DecodeShed(resp.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retryAfter != 70*time.Millisecond {
+		t.Fatalf("propagated hint %v, want the largest downstream hint 70ms", retryAfter)
+	}
+	if shedA.calls.Load() != 1 || shedB.calls.Load() != 1 {
+		t.Fatalf("shed attempts: A %d, B %d (want 1, 1)", shedA.calls.Load(), shedB.calls.Load())
+	}
+
+	// Mixed shed + transport failure is NOT all-shed: the hop must report an
+	// error (something is actually broken), not a hold.
+	s3, err := NewServer(nil, nil, WithStage(StageConfig{
+		Stage:       nn.Identity{},
+		Downstreams: []Downstream{&sheddingDown{retry: 10 * time.Millisecond}, &failingDown{}},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := s3.dispatch(relayBatch(rng, 6)); resp.Type != protocol.MsgError {
+		t.Fatalf("mixed shed+failure chain answered with %s, want MsgError", resp.Type)
 	}
 }
 

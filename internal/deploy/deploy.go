@@ -209,6 +209,12 @@ func ParseCuts(s string) ([]core.CutPoint, error) {
 			return nil, fmt.Errorf("deploy: cut point %d must be positive", v)
 		}
 		if n := len(cuts); n > 0 && core.CutPoint(v) <= cuts[n-1] {
+			if core.CutPoint(v) == cuts[n-1] {
+				// Named separately from the ordering error: a duplicated cut is
+				// almost always a copy-paste slip in a long -cuts list, and
+				// "must be strictly increasing, got 6 after 6" buries it.
+				return nil, fmt.Errorf("deploy: duplicate cut point %d", v)
+			}
 			return nil, fmt.Errorf("deploy: cut points must be strictly increasing, got %d after %d", v, cuts[n-1])
 		}
 		cuts = append(cuts, core.CutPoint(v))

@@ -12,6 +12,7 @@ package deploy
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"github.com/meanet/meanet/internal/cloud"
@@ -160,6 +161,10 @@ func TestParseCuts(t *testing.T) {
 		if _, err := ParseCuts(bad); err == nil {
 			t.Fatalf("ParseCuts(%q) accepted", bad)
 		}
+	}
+	// A duplicated cut gets its own diagnosis, not the generic ordering error.
+	if _, err := ParseCuts("3,3"); err == nil || !strings.Contains(err.Error(), "duplicate cut point 3") {
+		t.Fatalf("ParseCuts(\"3,3\") = %v, want an explicit duplicate-cut error", err)
 	}
 }
 

@@ -572,6 +572,16 @@ func (c *TCPClient) observe(payloadLen int, writeDur, waitDur time.Duration, loa
 	}
 }
 
+// noteLoad records a piggybacked load snapshot without feeding the link
+// estimator — for exchanges whose timing says nothing about the link, like
+// zero-payload chain probes.
+func (c *TCPClient) noteLoad(load protocol.LoadStatus) {
+	c.loadMu.Lock()
+	c.lastLoad = load
+	c.haveLoad = true
+	c.loadMu.Unlock()
+}
+
 // LinkEstimate reports the live uplink estimate accumulated over this
 // client's round trips (see linkest). The edge runtime consumes it for
 // closed-loop offload adaptation.
@@ -683,36 +693,84 @@ func (c *TCPClient) stackedRoundTrip(msgType protocol.MsgType, batch *tensor.Ten
 // A legacy server (or one without a stage) answers MsgError, mirroring the
 // MsgHello contract; a shed decodes to *ShedError as usual.
 func (c *TCPClient) RelayActivations(batch *tensor.Tensor, ttl uint8) ([]protocol.Result, error) {
+	rs, _, err := c.RelayActivationsStatus(batch, ttl)
+	return rs, err
+}
+
+// RelayActivationsStatus is RelayActivations plus the per-hop StageStatus
+// vector the chain piggybacks on the reply (empty from pre-chain-status
+// servers) — the telemetry the live re-placement solver runs on.
+func (c *TCPClient) RelayActivationsStatus(batch *tensor.Tensor, ttl uint8) ([]protocol.Result, []protocol.StageStatus, error) {
 	if batch.Dims() != 4 {
-		return nil, fmt.Errorf("edge: RelayActivations expects an NCHW batch, got shape %v", batch.Shape())
+		return nil, nil, fmt.Errorf("edge: RelayActivations expects an NCHW batch, got shape %v", batch.Shape())
 	}
-	payload := protocol.EncodeActivation(ttl, batch)
-	id, ch, writeDur, err := c.send(protocol.MsgRelay, payload)
+	return c.relayExchange(protocol.MsgRelay, protocol.EncodeActivation(ttl, batch), batch.Dim(0), true)
+}
+
+// RelayRouted ships one activation batch as a source-routed relay frame
+// (MsgRelayRoute): the receiving hop runs chain units [pos, bounds[0]) — or
+// through the end of its chain when bounds is empty — and forwards the rest
+// of the route. The route travels with the frame, so the caller can change
+// cuts between calls with no server reconfiguration; in-flight frames finish
+// on the route they carry (the drain-never-abort cut move). Unlike static
+// relay, the batch is NOT required to be NCHW — a cut may sit anywhere in the
+// chain, including past the flattening layers where activations are rank-2
+// [batch, features] — only batched (rank ≥ 2, dim 0 = instances).
+func (c *TCPClient) RelayRouted(batch *tensor.Tensor, ttl uint8, pos int, bounds []int) ([]protocol.Result, []protocol.StageStatus, error) {
+	if batch.Dims() < 2 {
+		return nil, nil, fmt.Errorf("edge: RelayRouted expects a batched activation tensor, got shape %v", batch.Shape())
+	}
+	payload, err := protocol.EncodeRoutedActivation(ttl, pos, bounds, batch)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	return c.relayExchange(protocol.MsgRelayRoute, payload, batch.Dim(0), true)
+}
+
+// RelayProbe ships a zero-instance chain probe: every hop forwards it without
+// running its stage and the terminal hop answers an empty result batch, so a
+// healthy return proves every transport leg of the chain and the returned
+// statuses enumerate the hops. Probes do NOT feed the link estimator — they
+// carry no payload, so their round trips would read as absurdly fast links.
+func (c *TCPClient) RelayProbe(ttl uint8) ([]protocol.StageStatus, error) {
+	_, hops, err := c.relayExchange(protocol.MsgRelay, protocol.EncodeRelayProbe(ttl), 0, false)
+	return hops, err
+}
+
+// relayExchange round-trips one relay-family frame and decodes the shared
+// reply shape (results + load piggyback + optional per-hop statuses).
+// observe=false skips the link estimator (probes).
+func (c *TCPClient) relayExchange(typ protocol.MsgType, payload []byte, want int, observeLink bool) ([]protocol.Result, []protocol.StageStatus, error) {
+	id, ch, writeDur, err := c.send(typ, payload)
+	if err != nil {
+		return nil, nil, err
 	}
 	waitStart := time.Now()
 	f, err := c.await(id, ch)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	switch f.Type {
 	case protocol.MsgResultBatch:
-		rs, load, hasLoad, err := protocol.DecodeResultsLoad(f.Payload)
+		rs, load, hasLoad, hops, _, err := protocol.DecodeResultsChain(f.Payload)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		if len(rs) != batch.Dim(0) {
-			return nil, fmt.Errorf("edge: relay response has %d results for %d instances", len(rs), batch.Dim(0))
+		if len(rs) != want {
+			return nil, nil, fmt.Errorf("edge: relay response has %d results for %d instances", len(rs), want)
 		}
-		c.observe(len(payload), writeDur, time.Since(waitStart), load, hasLoad)
-		return rs, nil
+		if observeLink {
+			c.observe(len(payload), writeDur, time.Since(waitStart), load, hasLoad)
+		} else if hasLoad {
+			c.noteLoad(load)
+		}
+		return rs, hops, nil
 	case protocol.MsgShed:
-		return nil, c.shedResult(f.Payload)
+		return nil, nil, c.shedResult(f.Payload)
 	case protocol.MsgError:
-		return nil, fmt.Errorf("edge: cloud error: %s", f.Payload)
+		return nil, nil, fmt.Errorf("edge: cloud error: %s", f.Payload)
 	default:
-		return nil, fmt.Errorf("edge: unexpected response type %s", f.Type)
+		return nil, nil, fmt.Errorf("edge: unexpected response type %s", f.Type)
 	}
 }
 

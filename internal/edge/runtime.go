@@ -213,6 +213,11 @@ type Report struct {
 	// a multi-replica router (edge.MultiClient); nil for single-connection
 	// transports.
 	Replicas []ReplicaStats
+
+	// Chain is the per-path chain accounting when the cloud client is a
+	// ChainClient (chain vs direct-fallback instances, cut moves, current
+	// cuts); nil for non-chain transports.
+	Chain *ChainStats
 }
 
 // CloudFraction is β: the fraction of instances that exited at the cloud.
@@ -755,6 +760,13 @@ func (r *Runtime) Report() Report {
 	if rr, ok := r.cloud.(ReplicaReporter); ok {
 		replicas = rr.ReplicaStats()
 	}
+	// Same lock-ordering rule for the chain snapshot: the chain client's own
+	// lock is taken and released before r.mu.
+	var chain *ChainStats
+	if cr, ok := r.cloud.(ChainReporter); ok {
+		st := cr.ChainStats()
+		chain = &st
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	exits := make(map[core.ExitPoint]int, len(r.exits))
@@ -763,6 +775,7 @@ func (r *Runtime) Report() Report {
 	}
 	return Report{
 		Replicas:       replicas,
+		Chain:          chain,
 		N:              r.n,
 		Exits:          exits,
 		CloudFailures:  r.cloudFailures,

@@ -40,3 +40,8 @@ func (e *ShedError) Error() string {
 // ErrShed) — and core's attempt loop — see through any %w wrapping the
 // transports add.
 func (e *ShedError) Unwrap() error { return core.ErrShed }
+
+// RetryAfterHint exposes the hold hint to packages that must not import edge
+// (cloud's stage servers assert for the method via errors.As to propagate a
+// downstream shed's timing upstream).
+func (e *ShedError) RetryAfterHint() time.Duration { return e.RetryAfter }

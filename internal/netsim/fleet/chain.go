@@ -108,7 +108,13 @@ func RunChainLoad(client edge.CloudClient, img *tensor.Tensor, workers, total in
 // ChainHop is one stage server in a relay chain. Link shapes this hop's
 // connection to the NEXT hop (unused on the terminal hop).
 type ChainHop struct {
+	// Stage serves static relay frames (MsgRelay). May be nil on a
+	// routed-only hop.
 	Stage nn.Layer
+	// Chain, when non-nil, is the full serving chain handed to every hop for
+	// source-routed relay frames (MsgRelayRoute) — live cut-move scenarios
+	// set the SAME slice on all hops.
+	Chain []nn.Layer
 	Link  netsim.Link
 }
 
@@ -151,7 +157,7 @@ func StartChain(hops []ChainHop) (*Chain, error) {
 	}
 	var nextAddr string
 	for i := len(hops) - 1; i >= 0; i-- {
-		cfg := cloud.StageConfig{Stage: hops[i].Stage}
+		cfg := cloud.StageConfig{Stage: hops[i].Stage, Chain: hops[i].Chain}
 		if nextAddr != "" {
 			down, err := edge.DialCloud(nextAddr, edge.DialConfig{Link: hops[i].Link})
 			if err != nil {

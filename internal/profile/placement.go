@@ -87,6 +87,48 @@ func chainCosts(chain []nn.Layer, in Shape) (costs []Cost, outs []Shape, err err
 	return costs, outs, nil
 }
 
+// ChainCosts prices every chain unit with LayerCost, threading the shape
+// through — the exported face of the solver's cost table, consumed by the
+// edge's live re-placement loop to convert measured stage service times into
+// device MACs/s rates (rate = span MACs / measured seconds).
+func ChainCosts(chain []nn.Layer, in Shape) (costs []Cost, outs []Shape, err error) {
+	return chainCosts(chain, in)
+}
+
+// EvaluateCuts prices ONE specific cut chain against the devices and links —
+// the comparison a live re-solver makes between the cuts it is running and a
+// freshly solved placement before paying the cost of a move.
+func EvaluateCuts(chain []nn.Layer, in Shape, devices []Device, links []netsim.Link, cuts []core.CutPoint) (Placement, error) {
+	if len(devices) == 0 {
+		return Placement{}, fmt.Errorf("profile: placement needs at least one device")
+	}
+	if len(links) != len(devices)-1 {
+		return Placement{}, fmt.Errorf("profile: %d devices need %d links, got %d", len(devices), len(devices)-1, len(links))
+	}
+	if len(cuts) != len(devices)-1 {
+		return Placement{}, fmt.Errorf("profile: %d devices need %d cuts, got %d", len(devices), len(devices)-1, len(cuts))
+	}
+	prev := core.CutPoint(0)
+	for i, c := range cuts {
+		if c <= prev || int(c) >= len(chain) {
+			return Placement{}, fmt.Errorf("profile: cut %d (%d) illegal for a chain of %d units", i, c, len(chain))
+		}
+		prev = c
+	}
+	for _, d := range devices {
+		if d.MACsPerSec <= 0 {
+			return Placement{}, fmt.Errorf("profile: device %q has no compute rate", d.Name)
+		}
+	}
+	costs, outs, err := chainCosts(chain, in)
+	if err != nil {
+		return Placement{}, err
+	}
+	p := evaluate(cuts, costs, outs, devices, links)
+	p.Cuts = append([]core.CutPoint(nil), cuts...)
+	return p, nil
+}
+
 // PlacePipeline enumerates every legal cut chain assigning the serving chain
 // to the devices in order (device 0 = the edge, last device = the terminal
 // hop; links[i] connects device i to i+1) and returns the

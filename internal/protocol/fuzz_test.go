@@ -343,6 +343,125 @@ func FuzzActivationRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzDecodeRoutedActivation feeds arbitrary bytes into the source-routed
+// relay decoder: accepted payloads must re-encode canonically (route header
+// validated strictly — monotonic boundaries, bounded position — so no two
+// byte strings decode to the same route).
+func FuzzDecodeRoutedActivation(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3})
+	f.Add([]byte{3, 0, 0, 0})
+	seed, _ := EncodeRoutedActivation(7, 2, []int{4, 9}, tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2))
+	f.Add(seed)
+	noRoute, _ := EncodeRoutedActivation(0, 0, nil, tensor.FromSlice([]float32{float32(math.NaN())}, 1, 1, 1, 1))
+	f.Add(noRoute)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ttl, pos, bounds, act, err := DecodeRoutedActivation(data)
+		if err != nil {
+			return
+		}
+		got, err := EncodeRoutedActivation(ttl, pos, bounds, act)
+		if err != nil {
+			t.Fatalf("accepted route does not re-encode: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("accepted routed payload is not canonical (%d vs %d bytes)", len(got), len(data))
+		}
+	})
+}
+
+// FuzzRoutedActivationRoundTrip builds routes and NCHW batches from fuzzed
+// inputs and requires a bitwise-lossless cycle — the property the live cut
+// move's bitwise-identity guarantee rests on.
+func FuzzRoutedActivationRoundTrip(f *testing.F) {
+	f.Add(uint8(2), uint8(3), uint8(1), uint8(2), int64(1))
+	f.Add(uint8(16), uint8(1), uint8(0), uint8(5), int64(-7))
+	f.Fuzz(func(t *testing.T, ttl, n, posRaw, hopsRaw uint8, seed int64) {
+		pos := int(posRaw) % 64
+		bounds := make([]int, int(hopsRaw)%5)
+		for i := range bounds {
+			bounds[i] = pos + (i+1)*3 // strictly increasing past pos
+		}
+		shape := []int{int(n)%4 + 1, 2, 3, 3}
+		data := make([]float32, shape[0]*shape[1]*shape[2]*shape[3])
+		s := uint64(seed)
+		for i := range data {
+			s = s*6364136223846793005 + 1442695040888963407
+			data[i] = math.Float32frombits(uint32(s >> 32))
+		}
+		in := tensor.FromSlice(data, shape...)
+		enc, err := EncodeRoutedActivation(ttl, pos, bounds, in)
+		if err != nil {
+			t.Fatalf("encode of valid route: %v", err)
+		}
+		gotTTL, gotPos, gotBounds, out, err := DecodeRoutedActivation(enc)
+		if err != nil {
+			t.Fatalf("decode of valid routed payload: %v", err)
+		}
+		if gotTTL != ttl || gotPos != pos || len(gotBounds) != len(bounds) {
+			t.Fatalf("route mutated: ttl %d→%d pos %d→%d bounds %v→%v", ttl, gotTTL, pos, gotPos, bounds, gotBounds)
+		}
+		for i := range bounds {
+			if gotBounds[i] != bounds[i] {
+				t.Fatalf("boundary %d: %d became %d", i, bounds[i], gotBounds[i])
+			}
+		}
+		if !out.SameShape(in) {
+			t.Fatalf("shape %v became %v", in.Shape(), out.Shape())
+		}
+		for i, v := range out.Data() {
+			if math.Float32bits(v) != math.Float32bits(in.Data()[i]) {
+				t.Fatalf("element %d: %x became %x", i, math.Float32bits(in.Data()[i]), math.Float32bits(v))
+			}
+		}
+	})
+}
+
+// FuzzDecodeResultsChain feeds arbitrary bytes into the chain-status-extended
+// result decoder (the frame the live re-placement solver's telemetry rides
+// on): accepted payloads must re-encode canonically through whichever layout
+// was decoded, and payloads without the chain section must agree with
+// DecodeResultsLoad exactly.
+func FuzzDecodeResultsChain(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeResults(nil))
+	f.Add(EncodeResultsLoad(nil, LoadStatus{QueueDepth: 1, Active: 2}))
+	f.Add(EncodeResultsChain(nil, LoadStatus{}, nil))
+	f.Add(EncodeResultsChain([]Result{{Pred: 3, Conf: 0.5}}, LoadStatus{QueueDepth: 9},
+		[]StageStatus{{ServiceNanos: 1e6, DownMbps: 93.5, DownRTTNanos: 2e6}, {ServiceNanos: 4e5}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rs, st, hasLoad, hops, hasChain, err := DecodeResultsChain(data)
+		if err != nil {
+			return
+		}
+		var back []byte
+		switch {
+		case hasChain:
+			if !hasLoad {
+				t.Fatalf("chain section without load status")
+			}
+			back = EncodeResultsChain(rs, st, hops)
+		case hasLoad:
+			if len(hops) != 0 {
+				t.Fatalf("no chain section on the wire but decoded %d hop statuses", len(hops))
+			}
+			back = EncodeResultsLoad(rs, st)
+		default:
+			back = EncodeResults(rs)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("accepted payload is not canonical (%d vs %d bytes, hasLoad %v hasChain %v)",
+				len(back), len(data), hasLoad, hasChain)
+		}
+		if !hasChain {
+			rs2, st2, hasLoad2, lerr := DecodeResultsLoad(data)
+			if lerr != nil || hasLoad2 != hasLoad || st2 != st || len(rs2) != len(rs) {
+				t.Fatalf("chain decoder disagrees with load decoder on a chain-free payload")
+			}
+		}
+	})
+}
+
 // FuzzDecodeHello feeds arbitrary bytes into the capability-handshake
 // decoder: accepted payloads must re-encode canonically (the layout has one
 // flags byte, so unknown bits are rejected rather than silently dropped —

@@ -33,6 +33,7 @@ const (
 	MsgShed                                 // payload: uint64 retry-after nanos (+ optional LoadStatus)
 	MsgHello                                // request: empty; reply payload: Capabilities
 	MsgRelay                                // payload: relay TTL byte + activation tensor [N,C,H,W]
+	MsgRelayRoute                           // payload: TTL + chain position + remaining boundaries + activation tensor
 )
 
 // String names the message type.
@@ -62,6 +63,8 @@ func (t MsgType) String() string {
 		return "hello"
 	case MsgRelay:
 		return "relay"
+	case MsgRelayRoute:
+		return "relay-routed"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -422,6 +425,193 @@ func DecodeActivation(b []byte) (ttl uint8, t *tensor.Tensor, err error) {
 		return 0, nil, err
 	}
 	return b[0], t, nil
+}
+
+// EncodeRelayProbe serializes a zero-instance MsgRelay payload: the TTL byte
+// with NO tensor after it. A probe traverses the chain's transport hops —
+// every non-terminal hop forwards it downstream without running its stage,
+// the terminal hop answers an empty result batch — so the edge can verify a
+// chain end to end (and learn its hop count from the piggybacked per-hop
+// status vector) without shipping a single activation. A server predating
+// probes rejects the empty tensor with MsgError, the usual legacy contract.
+func EncodeRelayProbe(ttl uint8) []byte { return []byte{ttl} }
+
+// IsRelayProbe reports whether a MsgRelay payload is a zero-instance probe
+// (TTL byte only). Checked before DecodeActivation, whose tensor decoder
+// rejects the empty body.
+func IsRelayProbe(b []byte) bool { return len(b) == relayHeaderLen }
+
+// DecodeRelayProbe decodes a probe payload's TTL byte.
+func DecodeRelayProbe(b []byte) (ttl uint8, err error) {
+	if !IsRelayProbe(b) {
+		return 0, fmt.Errorf("protocol: relay probe payload length %d, want %d", len(b), relayHeaderLen)
+	}
+	return b[0], nil
+}
+
+// routedHeaderLen is the fixed prefix of a MsgRelayRoute payload: the TTL
+// byte, the uint16 chain position and the boundary-count byte.
+const routedHeaderLen = 4
+
+// maxChainUnits bounds the chain positions a routed relay frame can carry
+// (uint16 on the wire; real serving chains are tens of units).
+const maxChainUnits = 1 << 16
+
+// EncodeRoutedActivation serializes a MsgRelayRoute payload — the
+// SOURCE-ROUTED relay frame: the edge stamps each frame with the chain
+// position its activations start at (pos, a unit index into the full serving
+// chain every hop holds) and the ordered list of remaining stage boundaries.
+// Each hop runs units [pos, bounds[0]) — or [pos, end-of-chain) when no
+// boundaries remain, making it the terminal hop for THIS frame — then
+// forwards with pos = bounds[0] and the boundary consumed. Because the route
+// travels with the frame instead of living in server config, the edge can
+// move a cut by stamping different boundaries on NEW frames while frames
+// already in flight complete on the old ones: the drain-never-abort cut move,
+// with bitwise-identical predictions on both routes (core.Partition is exact
+// for every legal cut chain).
+func EncodeRoutedActivation(ttl uint8, pos int, bounds []int, t *tensor.Tensor) ([]byte, error) {
+	if pos < 0 || pos >= maxChainUnits {
+		return nil, fmt.Errorf("protocol: routed relay position %d out of range", pos)
+	}
+	if len(bounds) > 255 {
+		return nil, fmt.Errorf("protocol: %d route boundaries, want <= 255", len(bounds))
+	}
+	prev := pos
+	for _, b := range bounds {
+		if b <= prev || b >= maxChainUnits {
+			return nil, fmt.Errorf("protocol: route boundaries must be strictly increasing past position %d, got %v", pos, bounds)
+		}
+		prev = b
+	}
+	body := EncodeTensor(t)
+	out := make([]byte, routedHeaderLen+2*len(bounds)+len(body))
+	out[0] = ttl
+	binary.LittleEndian.PutUint16(out[1:], uint16(pos))
+	out[3] = byte(len(bounds))
+	off := routedHeaderLen
+	for _, b := range bounds {
+		binary.LittleEndian.PutUint16(out[off:], uint16(b))
+		off += 2
+	}
+	copy(out[off:], body)
+	return out, nil
+}
+
+// DecodeRoutedActivation reverses EncodeRoutedActivation, validating the
+// route exactly (monotonic boundaries, canonical tensor) so an accepted
+// payload always re-encodes bitwise — the same canonicity contract as
+// DecodeActivation, fuzz-enforced.
+func DecodeRoutedActivation(b []byte) (ttl uint8, pos int, bounds []int, t *tensor.Tensor, err error) {
+	if len(b) < routedHeaderLen {
+		return 0, 0, nil, nil, fmt.Errorf("protocol: routed relay payload length %d, want >= %d", len(b), routedHeaderLen)
+	}
+	ttl = b[0]
+	pos = int(binary.LittleEndian.Uint16(b[1:]))
+	n := int(b[3])
+	if len(b) < routedHeaderLen+2*n {
+		return 0, 0, nil, nil, fmt.Errorf("protocol: truncated routed relay header (%d boundaries)", n)
+	}
+	off := routedHeaderLen
+	prev := pos
+	if n > 0 {
+		bounds = make([]int, n)
+		for i := range bounds {
+			v := int(binary.LittleEndian.Uint16(b[off:]))
+			if v <= prev {
+				return 0, 0, nil, nil, fmt.Errorf("protocol: route boundary %d not past %d", v, prev)
+			}
+			bounds[i] = v
+			prev = v
+			off += 2
+		}
+	}
+	t, err = DecodeTensor(b[off:])
+	if err != nil {
+		return 0, 0, nil, nil, err
+	}
+	return ttl, pos, bounds, t, nil
+}
+
+// StageStatus is one chain hop's live telemetry, piggybacked per hop on every
+// relay reply: each hop APPENDS its own entry to the vector its downstream
+// returned, so the edge receives hop-ordered estimates — entry 0 is the first
+// cloud hop — with zero extra round trips. The edge's live re-placement
+// solver consumes them as the per-device compute rates and per-hop links the
+// offline -plan flags used to guess.
+type StageStatus struct {
+	// ServiceNanos is the hop's queue-normalized EWMA of per-instance stage
+	// service time (the PR 8 svcEWMA shape: wall time divided by the relay
+	// dispatches in flight, so contention doesn't read as slowness). 0 until
+	// the hop has served a relay.
+	ServiceNanos uint64
+	// DownMbps and DownRTTNanos are the hop's measured estimate of its OWN
+	// downstream link (linkest over its relay round trips); zero on the
+	// terminal hop and until samples mature.
+	DownMbps     float32
+	DownRTTNanos uint64
+}
+
+// stageStatusLen is the wire size of one StageStatus entry.
+const stageStatusLen = 20
+
+// EncodeResultsChain is EncodeResultsLoad with a trailing per-hop status
+// vector: results, the 8-byte LoadStatus, then one count byte and count
+// 20-byte StageStatus entries. The count byte makes the extension
+// unambiguous against both legacy layouts — base and base+load payloads are
+// multiples of 4 bytes, the chain section is 1+20c ≡ 1 (mod 4) — so
+// DecodeResultsChain needs no version flag, mirroring how the LoadStatus
+// piggyback itself stays legacy-compatible.
+func EncodeResultsChain(rs []Result, st LoadStatus, hops []StageStatus) []byte {
+	if len(hops) > 255 {
+		hops = hops[:255] // longer chains than the TTL allows cannot occur
+	}
+	base := appendLoadStatus(EncodeResults(rs), st)
+	out := make([]byte, len(base)+1+stageStatusLen*len(hops))
+	copy(out, base)
+	out[len(base)] = byte(len(hops))
+	off := len(base) + 1
+	for _, h := range hops {
+		binary.LittleEndian.PutUint64(out[off:], h.ServiceNanos)
+		binary.LittleEndian.PutUint32(out[off+8:], math.Float32bits(h.DownMbps))
+		binary.LittleEndian.PutUint64(out[off+12:], h.DownRTTNanos)
+		off += stageStatusLen
+	}
+	return out
+}
+
+// DecodeResultsChain decodes a MsgResultBatch payload in any of its three
+// layouts: bare results (legacy), results+LoadStatus, or
+// results+LoadStatus+per-hop chain status. hasChain reports whether the
+// frame carried the status vector (hops may be empty either way — a probe
+// reply from a zero-hop... chain never occurs, but the decoder does not
+// assume it).
+func DecodeResultsChain(b []byte) (rs []Result, st LoadStatus, hasLoad bool, hops []StageStatus, hasChain bool, err error) {
+	if len(b) >= 4+loadStatusLen+1 {
+		n := binary.LittleEndian.Uint32(b)
+		if n <= uint32(MaxPayload/8) {
+			base := 4 + 8*int(n) + loadStatusLen
+			if len(b) > base {
+				c := int(b[base])
+				if len(b) == base+1+stageStatusLen*c {
+					hops = make([]StageStatus, c)
+					off := base + 1
+					for i := range hops {
+						hops[i].ServiceNanos = binary.LittleEndian.Uint64(b[off:])
+						hops[i].DownMbps = math.Float32frombits(binary.LittleEndian.Uint32(b[off+8:]))
+						hops[i].DownRTTNanos = binary.LittleEndian.Uint64(b[off+12:])
+						off += stageStatusLen
+					}
+					hasChain = true
+					b = b[:base]
+				}
+			}
+		}
+	}
+	rs, st, hasLoad, err = DecodeResultsLoad(b)
+	if err != nil {
+		return nil, LoadStatus{}, false, nil, false, err
+	}
+	return rs, st, hasLoad, hops, hasChain, nil
 }
 
 // DecodeResultLoad decodes a MsgResult payload with or without the trailing

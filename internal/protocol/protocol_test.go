@@ -233,6 +233,7 @@ func TestMsgTypeWireValuesStable(t *testing.T) {
 		MsgShed:              10,
 		MsgHello:             11,
 		MsgRelay:             12,
+		MsgRelayRoute:        13,
 	}
 	for ty, v := range want {
 		if uint8(ty) != v {
@@ -255,6 +256,7 @@ func TestMsgTypeStrings(t *testing.T) {
 		MsgShed:              "shed",
 		MsgHello:             "hello",
 		MsgRelay:             "relay",
+		MsgRelayRoute:        "relay-routed",
 		MsgType(99):          "msgtype(99)",
 	}
 	for ty, want := range names {
@@ -423,5 +425,140 @@ func TestDecodeActivationRejectsGarbage(t *testing.T) {
 		if _, _, err := DecodeActivation(c); err == nil {
 			t.Fatalf("case %d (%d bytes) accepted", i, len(c))
 		}
+	}
+}
+
+func TestRelayProbeRoundTrip(t *testing.T) {
+	for _, ttl := range []uint8{0, 1, 16, 255} {
+		p := EncodeRelayProbe(ttl)
+		if !IsRelayProbe(p) {
+			t.Fatalf("probe payload of %d bytes not recognised", len(p))
+		}
+		got, err := DecodeRelayProbe(p)
+		if err != nil || got != ttl {
+			t.Fatalf("probe TTL %d round-tripped to %d, %v", ttl, got, err)
+		}
+	}
+	// A real activation payload must never read as a probe, and vice versa.
+	act := EncodeActivation(3, tensor.FromSlice([]float32{1, 2}, 1, 1, 1, 2))
+	if IsRelayProbe(act) {
+		t.Fatalf("activation payload misread as probe")
+	}
+	if _, err := DecodeRelayProbe(act); err == nil {
+		t.Fatalf("DecodeRelayProbe accepted an activation payload")
+	}
+	if _, _, err := DecodeActivation(EncodeRelayProbe(3)); err == nil {
+		t.Fatalf("DecodeActivation accepted a probe payload")
+	}
+}
+
+func TestRoutedActivationRoundTrip(t *testing.T) {
+	in := tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 1, 1, 2, 3)
+	enc, err := EncodeRoutedActivation(9, 2, []int{5, 8}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttl, pos, bounds, out, err := DecodeRoutedActivation(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttl != 9 || pos != 2 || len(bounds) != 2 || bounds[0] != 5 || bounds[1] != 8 {
+		t.Fatalf("route mutated: ttl=%d pos=%d bounds=%v", ttl, pos, bounds)
+	}
+	if !out.SameShape(in) {
+		t.Fatalf("shape %v became %v", in.Shape(), out.Shape())
+	}
+	// Terminal frame: no boundaries left.
+	enc, err = EncodeRoutedActivation(1, 7, nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, pos, bounds, _, err = DecodeRoutedActivation(enc); err != nil || pos != 7 || len(bounds) != 0 {
+		t.Fatalf("terminal route: pos=%d bounds=%v err=%v", pos, bounds, err)
+	}
+}
+
+func TestRoutedActivationRejectsBadRoutes(t *testing.T) {
+	in := tensor.FromSlice([]float32{1}, 1, 1, 1, 1)
+	if _, err := EncodeRoutedActivation(1, 3, []int{3}, in); err == nil {
+		t.Fatalf("boundary == position accepted")
+	}
+	if _, err := EncodeRoutedActivation(1, 3, []int{5, 4}, in); err == nil {
+		t.Fatalf("non-increasing boundaries accepted")
+	}
+	if _, err := EncodeRoutedActivation(1, -1, nil, in); err == nil {
+		t.Fatalf("negative position accepted")
+	}
+	good, err := EncodeRoutedActivation(1, 2, []int{4}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decoder must apply the same validation.
+	bad := append([]byte{}, good...)
+	binary.LittleEndian.PutUint16(bad[1:], 4) // pos == bounds[0]
+	if _, _, _, _, err := DecodeRoutedActivation(bad); err == nil {
+		t.Fatalf("decoder accepted boundary == position")
+	}
+	if _, _, _, _, err := DecodeRoutedActivation(good[:3]); err == nil {
+		t.Fatalf("decoder accepted truncated header")
+	}
+	trunc := append([]byte{}, good...)
+	trunc[3] = 9 // claims 9 boundaries, carries 1
+	if _, _, _, _, err := DecodeRoutedActivation(trunc); err == nil {
+		t.Fatalf("decoder accepted truncated boundary list")
+	}
+}
+
+func TestResultsChainRoundTrip(t *testing.T) {
+	rs := []Result{{Pred: 3, Conf: 0.5}, {Pred: 1, Conf: 0.25}}
+	st := LoadStatus{QueueDepth: 4, Active: 2}
+	hops := []StageStatus{
+		{ServiceNanos: 1_500_000, DownMbps: 93.5, DownRTTNanos: 2_000_000},
+		{ServiceNanos: 800_000}, // terminal hop: no downstream link
+	}
+	enc := EncodeResultsChain(rs, st, hops)
+	gotRS, gotST, hasLoad, gotHops, hasChain, err := DecodeResultsChain(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasLoad || !hasChain {
+		t.Fatalf("hasLoad=%v hasChain=%v, want both", hasLoad, hasChain)
+	}
+	if len(gotRS) != len(rs) || gotRS[0] != rs[0] || gotRS[1] != rs[1] {
+		t.Fatalf("results mutated: %+v", gotRS)
+	}
+	if gotST != st {
+		t.Fatalf("load status %+v became %+v", st, gotST)
+	}
+	if len(gotHops) != 2 || gotHops[0] != hops[0] || gotHops[1] != hops[1] {
+		t.Fatalf("hop statuses mutated: %+v", gotHops)
+	}
+}
+
+// TestResultsChainLegacyCompat pins the three-layout disambiguation: the
+// chain decoder must accept both legacy layouts unchanged, and the legacy
+// decoders must never misparse a chain payload as a longer result batch.
+func TestResultsChainLegacyCompat(t *testing.T) {
+	rs := []Result{{Pred: 7, Conf: 1}}
+	st := LoadStatus{QueueDepth: 9}
+
+	gotRS, _, hasLoad, _, hasChain, err := DecodeResultsChain(EncodeResults(rs))
+	if err != nil || hasLoad || hasChain || len(gotRS) != 1 {
+		t.Fatalf("bare results: hasLoad=%v hasChain=%v err=%v", hasLoad, hasChain, err)
+	}
+	gotRS, gotST, hasLoad, _, hasChain, err := DecodeResultsChain(EncodeResultsLoad(rs, st))
+	if err != nil || !hasLoad || hasChain || gotST != st || len(gotRS) != 1 {
+		t.Fatalf("results+load: hasLoad=%v hasChain=%v st=%+v err=%v", hasLoad, hasChain, gotST, err)
+	}
+	// A chain payload fed to the load-only decoder must error, not misparse:
+	// its length is ≡1 (mod 4) while both legacy layouts are multiples of 4.
+	chain := EncodeResultsChain(rs, st, []StageStatus{{ServiceNanos: 1}})
+	if _, _, _, err := DecodeResultsLoad(chain); err == nil {
+		t.Fatalf("legacy decoder accepted a chain payload")
+	}
+	// Empty hop vector still round-trips as an explicit (empty) chain section.
+	_, _, hasLoad, gotHops, hasChain, err := DecodeResultsChain(EncodeResultsChain(rs, st, nil))
+	if err != nil || !hasLoad || !hasChain || len(gotHops) != 0 {
+		t.Fatalf("empty chain section: hasLoad=%v hasChain=%v hops=%v err=%v", hasLoad, hasChain, gotHops, err)
 	}
 }
